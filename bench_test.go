@@ -1,0 +1,295 @@
+// Package casq_test benchmarks the regeneration of every table and figure
+// in the paper's evaluation (one benchmark per table/figure, plus ablation
+// benches for the design choices called out in DESIGN.md). The benchmarks
+// use the reduced Fast configuration so a -bench=. sweep stays tractable;
+// cmd/experiments regenerates the full-quality numbers recorded in
+// EXPERIMENTS.md.
+package casq_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casq"
+	"casq/internal/caec"
+	"casq/internal/circuit"
+	"casq/internal/core"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/experiments"
+	"casq/internal/gates"
+	"casq/internal/models"
+	"casq/internal/sched"
+	"casq/internal/sim"
+	"casq/internal/twirl"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	opts := experiments.FastOptions()
+	opts.Shots = 16
+	opts.Instances = 2
+	opts.MaxDepth = 3
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// One benchmark per paper table/figure.
+
+func BenchmarkFig3cCaseI(b *testing.B)        { benchExperiment(b, "fig3c") }
+func BenchmarkFig3dCaseII(b *testing.B)       { benchExperiment(b, "fig3d") }
+func BenchmarkFig3eCaseIII(b *testing.B)      { benchExperiment(b, "fig3e") }
+func BenchmarkFig3fCaseIV(b *testing.B)       { benchExperiment(b, "fig3f") }
+func BenchmarkFig4aStark(b *testing.B)        { benchExperiment(b, "fig4a") }
+func BenchmarkFig4bParity(b *testing.B)       { benchExperiment(b, "fig4b") }
+func BenchmarkFig4cNNN(b *testing.B)          { benchExperiment(b, "fig4c") }
+func BenchmarkFig5Coloring(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6Ising(b *testing.B)         { benchExperiment(b, "fig6") }
+func BenchmarkFig7cHeisenberg(b *testing.B)   { benchExperiment(b, "fig7c") }
+func BenchmarkFig7dOverhead(b *testing.B)     { benchExperiment(b, "fig7d") }
+func BenchmarkFig8LayerFidelity(b *testing.B) { benchExperiment(b, "fig8") }
+func BenchmarkFig9Dynamic(b *testing.B)       { benchExperiment(b, "fig9") }
+func BenchmarkFig10Combined(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkTableI(b *testing.B)            { benchExperiment(b, "table1") }
+
+// Component benchmarks: the compiler passes and the simulator on a
+// representative workload.
+
+func benchWorkload() (*device.Device, *circuit.Circuit) {
+	opts := device.DefaultOptions()
+	dev := device.NewLine("bench", 6, opts)
+	c := models.BuildFloquetIsing(6, 4)
+	return dev, c
+}
+
+func BenchmarkCompileCADD(b *testing.B) {
+	dev, c := benchWorkload()
+	comp := core.New(dev, core.CADD(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := comp.Compile(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompileCAEC(b *testing.B) {
+	dev, c := benchWorkload()
+	comp := core.New(dev, core.CAEC(), 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := comp.Compile(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator6Q(b *testing.B) {
+	dev, c := benchWorkload()
+	sched.Schedule(c, dev)
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 16
+	cfg.Workers = 1
+	r := sim.New(dev, cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Expectations(c, []sim.ObsSpec{{0: 'X', 5: 'X'}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulator12Q(b *testing.B) {
+	opts := device.DefaultOptions()
+	dev := device.NewRing("bench12", 12, opts)
+	c := models.BuildHeisenbergRing(12, 2, models.DefaultHeisenberg())
+	sched.Schedule(c, dev)
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 4
+	cfg.Workers = 1
+	r := sim.New(dev, cfg)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Expectations(c, []sim.ObsSpec{{2: 'Z'}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTwirlInstance(b *testing.B) {
+	_, c := benchWorkload()
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := twirl.Instance(c, twirl.AllQubits, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches for the design choices listed in DESIGN.md.
+
+// BenchmarkAblationWalshLevels compares the pulse count of increasing Walsh
+// palette sizes on the Fig. 5 fragment.
+func BenchmarkAblationWalshLevels(b *testing.B) {
+	devOpts := device.DefaultOptions()
+	dev := device.NewHeavyHexFragment(devOpts)
+	build := func() *circuit.Circuit {
+		c := circuit.New(6, 0)
+		prep := c.AddLayer(circuit.OneQubitLayer)
+		for q := 0; q < 6; q++ {
+			prep.H(q)
+		}
+		idle := c.AddLayer(circuit.TwoQubitLayer)
+		for q := 0; q < 6; q++ {
+			idle.Add(circuit.Instruction{Gate: gates.Delay, Qubits: []int{q}, Params: []float64{2000}})
+		}
+		return c
+	}
+	for i := 0; i < b.N; i++ {
+		for _, colors := range []int{4, 8, 16} {
+			c := build()
+			sched.Schedule(c, dev)
+			o := dd.DefaultOptions()
+			o.MaxColors = colors
+			rep, err := dd.Insert(c, dev, o)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("palette %d colors -> %d pulses", colors, rep.Total)
+			}
+		}
+	}
+}
+
+// BenchmarkAblationECMiscalibration measures CA-EC's sensitivity to
+// mis-characterized ZZ rates: the compiler compensates using rates scaled
+// away from the simulator's truth.
+func BenchmarkAblationECMiscalibration(b *testing.B) {
+	opts := device.DefaultOptions()
+	opts.DeltaMax = 0
+	opts.QuasistaticSigma = 0
+	opts.Err1Q, opts.Err2Q, opts.ReadoutErr = 0, 0, 0
+	opts.T1Min, opts.T1Max, opts.T2Factor = 1e12, 1e12, 2
+	opts.RotaryResidual = 0
+	truth := device.NewLine("truth", 4, opts)
+	for i := 0; i < b.N; i++ {
+		for _, scale := range []float64{1.0, 1.1, 1.3} {
+			believed := device.NewLine("believed", 4, opts)
+			for e := range believed.ZZ {
+				believed.ZZ[e] = truth.ZZ[e] * scale
+			}
+			// Even depth: the ideal boundary correlator is exactly -1, so
+			// the compensated value directly reads out residual error.
+			c := models.BuildFloquetIsing(4, 2)
+			sched.Schedule(c, believed)
+			ecOpts := caec.DefaultOptions()
+			ecOpts.MaterializeMin = 0
+			compiled, _, err := caec.Apply(c, believed, ecOpts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := sim.CoherentOnly(1)
+			cfg.Workers = 1
+			vals, err := sim.New(truth, cfg).Expectations(compiled, []sim.ObsSpec{{0: 'X', 3: 'X'}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("ZZ miscalibration x%.1f -> <X0X3> = %.4f (ideal -1)", scale, vals[0])
+			}
+		}
+	}
+}
+
+// BenchmarkAblationStretchedRZZ compares the error cost of a
+// pulse-stretched native RZZ correction against composing it from two CX
+// gates (modeled as two full-error 2q gates).
+func BenchmarkAblationStretchedRZZ(b *testing.B) {
+	opts := device.DefaultOptions()
+	dev := device.NewLine("stretch", 2, opts)
+	theta := 0.3
+	for i := 0; i < b.N; i++ {
+		// Stretched: single RZZ layer.
+		cs := circuit.New(2, 0)
+		cs.AddLayer(circuit.OneQubitLayer).H(0).H(1)
+		cs.AddLayer(circuit.TwoQubitLayer).RZZ(0, 1, theta)
+		sched.Schedule(cs, dev)
+		// Two-CX construction: CX . Rz . CX.
+		cc := circuit.New(2, 0)
+		cc.AddLayer(circuit.OneQubitLayer).H(0).H(1)
+		cc.AddLayer(circuit.TwoQubitLayer).CX(0, 1)
+		cc.AddLayer(circuit.OneQubitLayer).RZ(1, theta)
+		cc.AddLayer(circuit.TwoQubitLayer).CX(0, 1)
+		sched.Schedule(cc, dev)
+		cfg := sim.DefaultConfig()
+		cfg.Shots = 64
+		obs := []sim.ObsSpec{{0: 'X'}}
+		vs, err := sim.New(dev, cfg).Expectations(cs, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		vc, err := sim.New(dev, cfg).Expectations(cc, obs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("stretched rzz dur=%.0fns vs 2xCX dur=%.0fns; <X0>: %.4f vs %.4f",
+				cs.TotalDuration(), cc.TotalDuration(), vs[0], vc[0])
+		}
+	}
+}
+
+// BenchmarkAblationStaggeredVsCA quantifies the value of echo-aware
+// coloring: staggered-by-index DD on a control spectator vs CA-DD.
+func BenchmarkAblationStaggeredVsCA(b *testing.B) {
+	devOpts := device.DefaultOptions()
+	devOpts.Seed = 41
+	dev := models.RamseyDevice(models.CaseControlSpectator, devOpts)
+	for i := 0; i < b.N; i++ {
+		for _, st := range []dd.Strategy{dd.Staggered, dd.ContextAware} {
+			spec := models.BuildRamsey(models.CaseControlSpectator, 6, 500)
+			sched.Schedule(spec.Circuit, dev)
+			o := dd.DefaultOptions()
+			o.Strategy = st
+			if _, err := dd.Insert(spec.Circuit, dev, o); err != nil {
+				b.Fatal(err)
+			}
+			cfg := sim.CoherentOnly(1)
+			cfg.Workers = 1
+			vals, err := sim.New(dev, cfg).Expectations(spec.Circuit, []sim.ObsSpec{{spec.Probes[0]: 'X'}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if i == 0 {
+				b.Logf("%v: spectator <X> = %.5f", st, vals[0])
+			}
+		}
+	}
+}
+
+// BenchmarkFacadeQuickstart exercises the public API end to end.
+func BenchmarkFacadeQuickstart(b *testing.B) {
+	dev := casq.NewLineDevice("facade", 4, casq.DefaultDeviceOptions())
+	for i := 0; i < b.N; i++ {
+		c := casq.NewCircuit(4, 0)
+		c.AddLayer(casq.OneQubitLayer).H(0).H(3)
+		c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
+		comp := casq.NewCompiler(dev, casq.Combined(), 7)
+		cfg := casq.DefaultSimConfig()
+		cfg.Shots = 16
+		vals, err := comp.Expectations(c, []casq.Observable{{0: 'X'}}, casq.RunOptions{Instances: 2, Cfg: cfg})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsNaN(vals[0]) {
+			b.Fatal("NaN expectation")
+		}
+	}
+}

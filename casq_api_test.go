@@ -1,0 +1,78 @@
+package casq_test
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casq"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	dev := casq.NewLineDevice("api", 3, casq.DefaultDeviceOptions())
+	c := casq.NewCircuit(3, 2)
+	c.AddLayer(casq.OneQubitLayer).H(0)
+	c.AddLayer(casq.TwoQubitLayer).CX(0, 1)
+	c.AddLayer(casq.MeasureLayer).Measure(0, 0).Measure(1, 1)
+	casq.Schedule(c, dev)
+
+	counts, err := casq.Simulate(dev, casq.IdealSimConfig(), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bits := range counts {
+		if bits[:2] != "00" && bits[:2] != "11" {
+			t.Errorf("ideal Bell produced %q", bits)
+		}
+	}
+}
+
+func TestFacadeCompilerStrategies(t *testing.T) {
+	dev := casq.NewLineDevice("api", 4, casq.DefaultDeviceOptions())
+	c := casq.NewCircuit(4, 0)
+	c.AddLayer(casq.OneQubitLayer).H(0).H(3)
+	c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
+
+	cfg := casq.DefaultSimConfig()
+	cfg.Shots = 32
+	for _, st := range []casq.Strategy{casq.Bare(), casq.Twirled(), casq.CADD(), casq.CAEC(), casq.Combined()} {
+		comp := casq.NewCompiler(dev, st, 3)
+		vals, err := comp.Expectations(c, []casq.Observable{{0: 'X'}}, casq.RunOptions{Instances: 2, Cfg: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", st.Name, err)
+		}
+		if math.IsNaN(vals[0]) || vals[0] < -1.001 || vals[0] > 1.001 {
+			t.Errorf("%s: bad expectation %v", st.Name, vals[0])
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	ids := casq.ExperimentIDs()
+	if len(ids) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(ids))
+	}
+	opts := casq.FastExperimentOptions()
+	opts.Shots = 8
+	opts.Instances = 1
+	opts.MaxDepth = 1
+	fig, err := casq.RunExperiment("table1", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "table1" {
+		t.Error("wrong figure returned")
+	}
+}
+
+func TestFacadeTwirlInstance(t *testing.T) {
+	c := casq.NewCircuit(2, 0)
+	c.AddLayer(casq.TwoQubitLayer).ECR(0, 1)
+	inst, err := casq.TwirlInstance(c, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Depth() != 3 {
+		t.Errorf("twirled depth %d, want 3 (pre, gate, post)", inst.Depth())
+	}
+}

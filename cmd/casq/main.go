@@ -1,0 +1,120 @@
+// Command casq compiles demo workloads with the context-aware passes and
+// prints the resulting schedules, DD colorings, and compensation
+// statistics.
+//
+// Usage:
+//
+//	casq -workload ising -strategy ca-ec+dd -steps 3 [-draw]
+//	casq -workload ramsey1 -strategy ca-dd -steps 4
+//	casq -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casq/internal/circuit"
+	"casq/internal/core"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/models"
+)
+
+var workloads = map[string]func(steps int) (*device.Device, *circuit.Circuit){
+	"ising": func(steps int) (*device.Device, *circuit.Circuit) {
+		return device.NewLine("ising6", 6, device.DefaultOptions()), models.BuildFloquetIsing(6, steps)
+	},
+	"heisenberg": func(steps int) (*device.Device, *circuit.Circuit) {
+		return device.NewRing("heis12", 12, device.DefaultOptions()),
+			models.BuildHeisenbergRing(12, steps, models.DefaultHeisenberg())
+	},
+	"ramsey1": func(steps int) (*device.Device, *circuit.Circuit) {
+		dev := models.RamseyDevice(models.CaseIdlePair, device.DefaultOptions())
+		return dev, models.BuildRamsey(models.CaseIdlePair, steps, 500).Circuit
+	},
+	"ramsey4": func(steps int) (*device.Device, *circuit.Circuit) {
+		dev := models.RamseyDevice(models.CaseControlControl, device.DefaultOptions())
+		return dev, models.BuildRamsey(models.CaseControlControl, steps, 500).Circuit
+	},
+	"dynamic": func(steps int) (*device.Device, *circuit.Circuit) {
+		dev := device.NewLine("dyn3", 3, device.DefaultOptions())
+		return dev, models.BuildDynamicBell(dev.DurFF)
+	},
+	"combined": func(steps int) (*device.Device, *circuit.Circuit) {
+		return models.CombinedDevice(device.DefaultOptions()), models.BuildCombinedFloquet(steps)
+	},
+}
+
+var strategies = map[string]func() core.Strategy{
+	"bare":      core.Bare,
+	"twirled":   core.Twirled,
+	"dd":        func() core.Strategy { return core.WithDD(dd.Aligned) },
+	"staggered": func() core.Strategy { return core.WithDD(dd.Staggered) },
+	"ca-dd":     core.CADD,
+	"ca-ec":     core.CAEC,
+	"ca-ec+dd":  core.Combined,
+}
+
+func main() {
+	var (
+		workload = flag.String("workload", "ising", "workload name (see -list)")
+		strategy = flag.String("strategy", "ca-ec+dd", "strategy name (see -list)")
+		steps    = flag.Int("steps", 2, "workload depth")
+		seed     = flag.Int64("seed", 7, "twirl seed")
+		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
+		list     = flag.Bool("list", false, "list workloads and strategies")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Print("workloads: ")
+		for name := range workloads {
+			fmt.Printf("%s ", name)
+		}
+		fmt.Print("\nstrategies: ")
+		for name := range strategies {
+			fmt.Printf("%s ", name)
+		}
+		fmt.Println()
+		return
+	}
+	wf, ok := workloads[*workload]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	sf, ok := strategies[*strategy]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+	dev, circ := wf(*steps)
+	comp := core.New(dev, sf(), *seed)
+	compiled, info, err := comp.Compile(circ)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload %s on %s (%d qubits), strategy %s\n", *workload, dev.Name, dev.NQubits, *strategy)
+	fmt.Printf("compiled: %d layers, duration %.0f ns\n", compiled.Depth(), info.Duration)
+	if info.DDReport.Total > 0 {
+		fmt.Printf("DD: %d pulses over %d windows\n", info.DDReport.Total, len(info.DDReport.Windows))
+		for _, w := range info.DDReport.Windows {
+			fmt.Printf("  window [%7.0f, %7.0f] ns qubits %v colors %v\n",
+				w.Window.Start, w.Window.End, w.Window.Qubits, w.Colors)
+		}
+	}
+	s := info.ECStats
+	if s.VirtualRZ+s.AbsorbedUcan+s.AbsorbedCX+s.InsertedRZZ+s.Conditional > 0 {
+		fmt.Printf("CA-EC: %d virtual Rz, %d absorbed into Ucan/RZZ, %d through CX, %d native RZZ inserted, %d conditional, %d twirl sign flips, %d dropped (%.3f rad)\n",
+			s.VirtualRZ, s.AbsorbedUcan, s.AbsorbedCX, s.InsertedRZZ, s.Conditional, s.SignFlips, s.Dropped, s.DroppedAngles)
+	}
+	if *draw {
+		fmt.Println()
+		fmt.Println(compiled.Draw())
+	} else {
+		fmt.Println()
+		fmt.Println(compiled.String())
+	}
+}

@@ -1,0 +1,73 @@
+// Command experiments regenerates the paper's tables and figures on the
+// synthetic-backend substitute.
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -id fig8 [-fast] [-shots N] [-instances K] [-seed S]
+//	experiments -all [-fast]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"casq/internal/experiments"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "", "experiment id (see -list)")
+		all       = flag.Bool("all", false, "run every experiment")
+		list      = flag.Bool("list", false, "list experiment ids")
+		fast      = flag.Bool("fast", false, "reduced sampling for quick runs")
+		shots     = flag.Int("shots", 0, "override trajectory budget per point")
+		instances = flag.Int("instances", 0, "override twirl instances per point")
+		seed      = flag.Int64("seed", 0, "override random seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, x := range experiments.IDs() {
+			fmt.Println(x)
+		}
+		return
+	}
+	opts := experiments.DefaultOptions()
+	if *fast {
+		opts = experiments.FastOptions()
+	}
+	if *shots > 0 {
+		opts.Shots = *shots
+	}
+	if *instances > 0 {
+		opts.Instances = *instances
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+
+	ids := []string{}
+	switch {
+	case *all:
+		ids = experiments.IDs()
+	case *id != "":
+		ids = []string{*id}
+	default:
+		fmt.Fprintln(os.Stderr, "need -id, -all or -list")
+		flag.Usage()
+		os.Exit(2)
+	}
+	for _, x := range ids {
+		start := time.Now()
+		fig, err := experiments.Run(x, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", x, err)
+			os.Exit(1)
+		}
+		fmt.Print(fig.Render())
+		fmt.Printf("(%s in %.1fs)\n\n", x, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,64 @@
+// Dynamic feed-forward: the paper's Fig. 9 workload — Bell-state
+// preparation through a mid-circuit measurement and a feed-forward
+// correction. The data qubits idle through the ~5 us measurement +
+// feed-forward window and accumulate large ZZ errors; CA-EC compensates
+// them with schedule-derived virtual Rz corrections plus a
+// measurement-conditioned correction, and this example scans the compiler's
+// assumed feed-forward latency to locate the controller's true value.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casq/internal/caec"
+	"casq/internal/core"
+	"casq/internal/device"
+	"casq/internal/expval"
+	"casq/internal/models"
+	"casq/internal/sim"
+)
+
+func main() {
+	devOpts := device.DefaultOptions()
+	devOpts.Seed = 53
+	dev := device.NewLine("dynamic", 3, devOpts)
+	fmt.Printf("device: measurement %.1f us, true feed-forward latency %.2f us\n",
+		dev.DurMeas/1e3, dev.DurFF/1e3)
+
+	fidelity := func(st core.Strategy, seed int64) float64 {
+		c := models.BuildDynamicBell(dev.DurFF)
+		comp := core.New(dev, st, seed)
+		cfg := sim.DefaultConfig()
+		cfg.Shots = 1200
+		cfg.Seed = seed
+		res, err := comp.Counts(c, core.RunOptions{Instances: 1, Cfg: cfg})
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := expval.CorrectReadout(res, []int{1, 2}, "00",
+			[]float64{dev.ReadoutErr[1], dev.ReadoutErr[2]})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	bare := fidelity(core.Strategy{Name: "bare"}, 1)
+	fmt.Printf("\nbare Bell fidelity: %.3f (paper: 0.095)\n\n", bare)
+
+	fmt.Println("CA-EC fidelity vs assumed feed-forward time tau:")
+	best, bestTau := 0.0, 0.0
+	for _, tau := range []float64{0, 400, 800, 1150, 1500, 1900, 2300} {
+		st := core.Strategy{Name: "ca-ec", EC: true, ECOpts: caec.DefaultOptions()}
+		st.ECOpts.FFTime = tau
+		f := fidelity(st, 100+int64(tau))
+		fmt.Printf("  tau = %4.0f ns  ->  F = %.3f\n", tau, f)
+		if f > best {
+			best, bestTau = f, tau
+		}
+	}
+	fmt.Printf("\npeak F = %.3f at tau = %.2f us — the calibrated feed-forward time (paper: 0.781 at 1.15 us)\n",
+		best, bestTau/1e3)
+	fmt.Printf("improvement over bare: %.1fx (paper: >8x)\n", best/bare)
+}

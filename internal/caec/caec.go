@@ -1,0 +1,527 @@
+// Package caec implements Context-Aware Error Compensation (paper
+// Algorithm 2). The pass walks a scheduled, twirled (and possibly
+// DD-decorated) circuit layer by layer, computes the coherent Z/ZZ error
+// that survives each layer from the device calibration and the layer's
+// pulse context (via the toggling-frame integrals), and then:
+//
+//   - Z errors are compensated immediately with virtual Rz corrections —
+//     free on hardware, inserted as zero-duration correction layers;
+//   - ZZ errors accumulate in a compensation dictionary that is commuted
+//     through twirl layers (sign flips when the twirl Paulis anticommute
+//     with ZZ) and absorbed into downstream two-qubit gates at no cost when
+//     they are RZZ or Ucan rotations (gamma -> gamma - theta/2) or CX
+//     (which converts the ZZ into a free virtual Rz on the target);
+//   - compensations that cannot be absorbed are materialized as
+//     pulse-stretched native RZZ gates (short duration, proportionally
+//     small error), or — next to a mid-circuit measurement — as
+//     measurement-conditioned virtual Rz corrections appended to the
+//     feed-forward operation (paper Fig. 9).
+package caec
+
+import (
+	"fmt"
+	"math"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/gates"
+	"casq/internal/sched"
+	"casq/internal/toggling"
+)
+
+// Options configure the pass.
+type Options struct {
+	IncludeStark bool
+	// AbsorbOnly prevents materializing explicit RZZ corrections; pending
+	// ZZ compensations that cannot be absorbed are dropped (counted in
+	// Stats.Dropped).
+	AbsorbOnly bool
+	// MinAngle ignores compensation angles below this threshold (radians).
+	MinAngle float64
+	// MaterializeMin is the smallest pending ZZ angle (radians) worth an
+	// explicit pulse-stretched RZZ correction gate. Compensations below it
+	// that cannot be absorbed for free are dropped: the correction gate's
+	// own error and the idle window it opens on the rest of the device
+	// would cost more than the residual coherent error it removes. Zero
+	// materializes everything (exact coherent cancellation).
+	MaterializeMin float64
+	// FFTime is the feed-forward duration (ns) the compiler assumes when
+	// computing measurement-conditioned corrections; < 0 means use the
+	// device calibration (DurFF). The Fig. 9 experiment scans this value.
+	FFTime float64
+}
+
+// DefaultOptions enables Stark compensation and native-RZZ materialization
+// for pending angles above ~0.1 rad.
+func DefaultOptions() Options {
+	return Options{IncludeStark: true, MinAngle: 1e-9, MaterializeMin: 0.1, FFTime: -1}
+}
+
+// Stats reports what the pass did.
+type Stats struct {
+	VirtualRZ     int // free virtual Rz corrections inserted
+	AbsorbedUcan  int // ZZ compensations absorbed into Ucan/RZZ angles
+	AbsorbedCX    int // ZZ compensations converted to virtual Rz through CX
+	InsertedRZZ   int // pulse-stretched native RZZ corrections materialized
+	Conditional   int // measurement-conditioned corrections appended
+	SignFlips     int // compensation sign flips through twirl Paulis
+	Dropped       int
+	DroppedAngles float64
+}
+
+// Apply runs CA-EC over the circuit, returning a new compiled circuit
+// (rescheduled) and statistics. The input must be scheduled.
+func Apply(c *circuit.Circuit, dev *device.Device, opts Options) (*circuit.Circuit, Stats, error) {
+	if opts.MinAngle <= 0 {
+		opts.MinAngle = 1e-9
+	}
+	p := &pass{
+		dev:    dev,
+		opts:   opts,
+		out:    circuit.New(c.NQubits, c.NCBits),
+		comp2q: map[device.Edge]float64{},
+	}
+	for li := range c.Layers {
+		if err := p.processLayer(&c.Layers[li]); err != nil {
+			return nil, p.stats, fmt.Errorf("caec: layer %d: %w", li, err)
+		}
+	}
+	// Materialize anything still pending at the end of the circuit. Each
+	// correction layer idles the rest of the device briefly and can leave
+	// new (much smaller) pending terms; a few rounds converge.
+	for iter := 0; iter < 3 && len(p.comp2q) > 0; iter++ {
+		p.materializeAll()
+	}
+	sched.Schedule(p.out, dev)
+	return p.out, p.stats, nil
+}
+
+type pass struct {
+	dev       *device.Device
+	opts      Options
+	out       *circuit.Circuit
+	comp2q    map[device.Edge]float64 // pending ZZ *error* angle per edge
+	collapsed map[int]bool            // qubits already measured mid-circuit
+	stats     Stats
+}
+
+func (p *pass) isCollapsed(q int) bool { return p.collapsed != nil && p.collapsed[q] }
+
+func (p *pass) processLayer(l *circuit.Layer) error {
+	switch l.Kind {
+	case circuit.TwirlLayer:
+		p.commuteThroughTwirl(l)
+		p.out.Layers = append(p.out.Layers, l.Clone())
+		return nil
+	case circuit.OneQubitLayer:
+		p.out.Layers = append(p.out.Layers, l.Clone())
+		p.emitLayerErrors(l)
+		return nil
+	case circuit.TwoQubitLayer:
+		return p.processTwoQubitLayer(l)
+	case circuit.MeasureLayer:
+		return p.processMeasureLayer(l)
+	}
+	p.out.Layers = append(p.out.Layers, l.Clone())
+	return nil
+}
+
+// commuteThroughTwirl moves the pending ZZ compensations past a twirl
+// layer: the sign flips iff exactly one endpoint's Pauli anticommutes with
+// Z (paper Fig. 1d).
+func (p *pass) commuteThroughTwirl(l *circuit.Layer) {
+	flips := map[int]bool{}
+	for _, in := range l.Instrs {
+		if in.Gate == gates.XGate || in.Gate == gates.YGate {
+			flips[in.Qubits[0]] = true
+		}
+	}
+	for e, v := range p.comp2q {
+		if v == 0 {
+			continue
+		}
+		if flips[e.A] != flips[e.B] {
+			p.comp2q[e] = -v
+			p.stats.SignFlips++
+		}
+	}
+}
+
+// processTwoQubitLayer first resolves pending ZZ compensations against the
+// layer's gates (absorb, convert, or materialize), then appends the layer
+// and accounts for the new errors it generates.
+func (p *pass) processTwoQubitLayer(l *circuit.Layer) error {
+	nl := l.Clone()
+	gatesByEdge := map[device.Edge]*circuit.Instruction{}
+	for i := range nl.Instrs {
+		in := &nl.Instrs[i]
+		if gates.NumQubits(in.Gate) == 2 {
+			gatesByEdge[device.NewEdge(in.Qubits[0], in.Qubits[1])] = in
+		}
+	}
+
+	// Operand roles: qubit -> (gate kind, operand index).
+	type role struct {
+		kind  gates.Kind
+		first bool
+	}
+	roles := map[int]role{}
+	for _, in := range nl.Instrs {
+		if gates.NumQubits(in.Gate) == 2 {
+			roles[in.Qubits[0]] = role{in.Gate, true}
+			roles[in.Qubits[1]] = role{in.Gate, false}
+		}
+	}
+
+	var afterZ []zCorr
+	// classify decides what happens to a pending Rzz on edge e as it meets
+	// this layer: absorbed into a gate on the same edge; carried through
+	// (sign-conjugated by the ideal gates: ECR flips Z on its control,
+	// CX/RZZ preserve it); or blocked (gate targets and Ucan operands turn
+	// ZZ into non-diagonal operators) and hence materialized before the
+	// layer.
+	classify := func(e device.Edge, theta float64) (carrySign float64, blocked bool) {
+		carrySign = 1
+		for _, q := range []int{e.A, e.B} {
+			r, ok := roles[q]
+			if !ok {
+				continue
+			}
+			switch {
+			case r.kind == gates.RZZ:
+				// diagonal: commutes on either operand
+			case r.kind == gates.Ucan:
+				blocked = true
+			case r.first: // control of ECR/CX/ZX/SWAP
+				switch r.kind {
+				case gates.ECR:
+					carrySign = -carrySign // ECR Z_c ECR^dag = -Z_c
+				case gates.CX:
+					// CX preserves Z on its control
+				default:
+					blocked = true
+				}
+			default: // target of ECR/CX/...: Z_t maps to a non-local Pauli
+				blocked = true
+			}
+		}
+		return carrySign, blocked
+	}
+
+	resolve := func(e device.Edge, theta float64) (done bool) {
+		if in, ok := gatesByEdge[e]; ok {
+			switch in.Gate {
+			case gates.Ucan:
+				_, _, g := gates.AbsorbRzzIntoUcan(in.Params[0], in.Params[1], in.Params[2], theta)
+				in.Params[2] = g
+				p.stats.AbsorbedUcan++
+				delete(p.comp2q, e)
+				return true
+			case gates.RZZ:
+				in.Params[0] = gates.AbsorbRzzIntoRzz(in.Params[0], theta)
+				p.stats.AbsorbedUcan++
+				delete(p.comp2q, e)
+				return true
+			case gates.CX:
+				// CX . Rzz(theta) = (I x Rz(theta)) . CX: the pending ZZ
+				// becomes a free virtual Rz on the target after the gate.
+				afterZ = append(afterZ, zCorr{q: in.Qubits[1], errAngle: theta})
+				p.stats.AbsorbedCX++
+				delete(p.comp2q, e)
+				return true
+			}
+		}
+		return false
+	}
+
+	var mustMaterialize []device.Edge
+	processed := map[device.Edge]bool{}
+	for e, theta := range p.comp2q {
+		processed[e] = true
+		if math.Abs(theta) < p.opts.MinAngle {
+			delete(p.comp2q, e)
+			continue
+		}
+		if resolve(e, theta) {
+			continue
+		}
+		sign, blocked := classify(e, theta)
+		if blocked {
+			mustMaterialize = append(mustMaterialize, e)
+			continue
+		}
+		if sign < 0 {
+			p.comp2q[e] = -theta
+			p.stats.SignFlips++
+		}
+	}
+	p.materializePending(mustMaterialize)
+	// The correction layers just inserted idle the rest of the device for a
+	// short window and may have produced new (small) pending terms that also
+	// sit before this gate layer. Give them the same treatment, but drop
+	// blocked ones instead of recursing into further correction layers.
+	for e, theta := range p.comp2q {
+		if processed[e] {
+			continue
+		}
+		if math.Abs(theta) < p.opts.MinAngle {
+			delete(p.comp2q, e)
+			continue
+		}
+		if resolve(e, theta) {
+			continue
+		}
+		sign, blocked := classify(e, theta)
+		if blocked {
+			p.stats.Dropped++
+			p.stats.DroppedAngles += math.Abs(theta)
+			delete(p.comp2q, e)
+			continue
+		}
+		if sign < 0 {
+			p.comp2q[e] = -theta
+			p.stats.SignFlips++
+		}
+	}
+
+	p.out.Layers = append(p.out.Layers, nl)
+	p.emitLayerErrors(l)
+	p.emitZCorrections(afterZ)
+	return nil
+}
+
+type zCorr struct {
+	q        int
+	errAngle float64 // accumulated *error* angle; correction is its negative
+}
+
+// emitLayerErrors computes the surviving coherent error of the layer via
+// the toggling integrals, immediately compensates the Z part with a virtual
+// Rz layer, and adds the ZZ part to the pending dictionary.
+func (p *pass) emitLayerErrors(l *circuit.Layer) {
+	if l.Duration <= 0 {
+		return
+	}
+	m := toggling.BuildLayerModel(l, p.dev)
+	// Edges touching a collapsed (measured) qubit are handled once, by the
+	// measurement-conditioned corrections; exclude them here.
+	res := toggling.IntegrateFiltered(m, p.dev, p.opts.IncludeStark, func(e device.Edge) bool {
+		return p.isCollapsed(e.A) || p.isCollapsed(e.B)
+	})
+	var zs []zCorr
+	for q, phi := range res.PhiZ {
+		if p.isCollapsed(q) {
+			continue
+		}
+		zs = append(zs, zCorr{q: q, errAngle: phi})
+	}
+	p.emitZCorrections(zs)
+	for e, phi := range res.PhiZZ {
+		if p.isCollapsed(e.A) || p.isCollapsed(e.B) {
+			continue
+		}
+		p.comp2q[e] += phi
+	}
+}
+
+// emitZCorrections appends a zero-duration virtual-Rz layer undoing the
+// given error angles, merging entries that target the same qubit.
+func (p *pass) emitZCorrections(zs []zCorr) {
+	byQubit := map[int]float64{}
+	var order []int
+	for _, z := range zs {
+		if _, seen := byQubit[z.q]; !seen {
+			order = append(order, z.q)
+		}
+		byQubit[z.q] += z.errAngle
+	}
+	sortInts(order)
+	var corr *circuit.Layer
+	for _, q := range order {
+		angle := byQubit[q]
+		if math.Abs(angle) < p.opts.MinAngle {
+			continue
+		}
+		if corr == nil {
+			p.out.Layers = append(p.out.Layers, circuit.Layer{Kind: circuit.OneQubitLayer})
+			corr = &p.out.Layers[len(p.out.Layers)-1]
+		}
+		corr.Add(circuit.Instruction{
+			Gate:   gates.RZ,
+			Qubits: []int{q},
+			Params: []float64{-angle},
+			Tag:    "ec",
+		})
+		p.stats.VirtualRZ++
+	}
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j-1] > xs[j]; j-- {
+			xs[j-1], xs[j] = xs[j], xs[j-1]
+		}
+	}
+}
+
+// materializeAll flushes every pending ZZ compensation as explicit gates.
+func (p *pass) materializeAll() {
+	var edges []device.Edge
+	for e := range p.comp2q {
+		edges = append(edges, e)
+	}
+	p.materializePending(edges)
+}
+
+// materializePending inserts pulse-stretched native RZZ corrections for the
+// listed edges, packing disjoint edges into shared layers.
+func (p *pass) materializePending(edges []device.Edge) {
+	var work []device.Edge
+	for _, e := range edges {
+		theta := p.comp2q[e]
+		if math.Abs(theta) < p.opts.MinAngle {
+			delete(p.comp2q, e)
+			continue
+		}
+		if p.opts.AbsorbOnly || math.Abs(theta) < p.opts.MaterializeMin {
+			p.stats.Dropped++
+			p.stats.DroppedAngles += math.Abs(theta)
+			delete(p.comp2q, e)
+			continue
+		}
+		work = append(work, e)
+	}
+	// Greedy pack into layers of disjoint edges, deterministically ordered.
+	for len(work) > 0 {
+		layer := circuit.Layer{Kind: circuit.TwoQubitLayer}
+		used := map[int]bool{}
+		var rest []device.Edge
+		sortEdges(work)
+		for _, e := range work {
+			if used[e.A] || used[e.B] {
+				rest = append(rest, e)
+				continue
+			}
+			used[e.A], used[e.B] = true, true
+			layer.Add(circuit.Instruction{
+				Gate:   gates.RZZ,
+				Qubits: []int{e.A, e.B},
+				Params: []float64{-p.comp2q[e]},
+				Tag:    "ec",
+			})
+			p.stats.InsertedRZZ++
+			delete(p.comp2q, e)
+		}
+		// The correction layer has nonzero duration itself, so the rest of
+		// the device idles (and accumulates error) while it runs; account
+		// for that too.
+		layer.Duration = sched.LayerDuration(&layer, p.dev)
+		p.out.Layers = append(p.out.Layers, layer)
+		p.emitLayerErrors(&p.out.Layers[len(p.out.Layers)-1])
+		work = rest
+	}
+}
+
+func sortEdges(es []device.Edge) {
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0; j-- {
+			a, b := es[j-1], es[j]
+			if a.A < b.A || (a.A == b.A && a.B <= b.B) {
+				break
+			}
+			es[j-1], es[j] = b, a
+		}
+	}
+}
+
+// processMeasureLayer handles mid-circuit measurement: pending ZZ touching
+// measured qubits is materialized first; errors accumulated during the
+// measurement + feed-forward window on edges adjacent to a measured qubit
+// become measurement-conditioned virtual Rz corrections (paper Fig. 9);
+// edges between unmeasured qubits accumulate normally.
+func (p *pass) processMeasureLayer(l *circuit.Layer) error {
+	measured := map[int]int{} // qubit -> classical bit
+	for _, in := range l.Instrs {
+		if in.Gate == gates.Measure {
+			measured[in.Qubits[0]] = in.CBit
+		}
+	}
+	var toMat []device.Edge
+	for e, v := range p.comp2q {
+		if v != 0 && (hasKey(measured, e.A) || hasKey(measured, e.B)) {
+			toMat = append(toMat, e)
+		}
+	}
+	p.materializePending(toMat)
+	p.out.Layers = append(p.out.Layers, l.Clone())
+
+	ff := p.opts.FFTime
+	if ff < 0 {
+		ff = p.dev.DurFF
+	}
+	tau := l.Duration + ff // measurement + feed-forward idle window
+	const nsToS = 1e-9
+	var condLayer *circuit.Layer
+	var zs []zCorr
+	for _, e := range p.dev.AllCrosstalkEdges() {
+		w := 2 * math.Pi * p.dev.ZZ[e] * nsToS
+		if w == 0 {
+			continue
+		}
+		ma, aOK := measured[e.A]
+		mb, bOK := measured[e.B]
+		switch {
+		case aOK && bOK:
+			// Both collapsed: pure phase, nothing to correct.
+		case aOK || bOK:
+			// One endpoint measured: the surviving error on the spectator is
+			// Rz(w*tau*(z_m - 1)): zero for outcome 0, -2*w*tau for outcome
+			// 1. Compensate with a conditional virtual Rz on the spectator.
+			spec, cbit := e.B, ma
+			if bOK {
+				spec, cbit = e.A, mb
+			}
+			if p.isCollapsed(spec) {
+				continue
+			}
+			if condLayer == nil {
+				p.out.Layers = append(p.out.Layers, circuit.Layer{Kind: circuit.OneQubitLayer})
+				condLayer = &p.out.Layers[len(p.out.Layers)-1]
+			}
+			// The correction is a conditional *virtual* Rz: diagonal, so it
+			// commutes with the remaining idle evolution and can execute as
+			// soon as the measurement result is available (Time 0, zero
+			// duration).
+			condLayer.Add(circuit.Instruction{
+				Gate:   gates.RZ,
+				Qubits: []int{spec},
+				Params: []float64{2 * w * tau},
+				Cond:   &circuit.Condition{Bit: cbit, Value: 1},
+				Tag:    "ec",
+			})
+			p.stats.Conditional++
+		default:
+			if p.isCollapsed(e.A) || p.isCollapsed(e.B) {
+				continue
+			}
+			// Both idle and unmeasured: the usual U11 accumulation over the
+			// measurement window (the feed-forward window is accounted by
+			// the following conditional layer's own toggling pass).
+			p.comp2q[e] += w * l.Duration
+			zs = append(zs, zCorr{q: e.A, errAngle: -w * l.Duration}, zCorr{q: e.B, errAngle: -w * l.Duration})
+		}
+	}
+	p.emitZCorrections(zs)
+	if p.collapsed == nil {
+		p.collapsed = map[int]bool{}
+	}
+	for q := range measured {
+		p.collapsed[q] = true
+	}
+	return nil
+}
+
+func hasKey(m map[int]int, k int) bool {
+	_, ok := m[k]
+	return ok
+}

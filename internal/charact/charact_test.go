@@ -1,0 +1,116 @@
+package charact
+
+import (
+	"math"
+	"testing"
+
+	"casq/internal/caec"
+	"casq/internal/device"
+	"casq/internal/linalg"
+	"casq/internal/models"
+	"casq/internal/sched"
+	"casq/internal/sim"
+)
+
+func calmDevice(n int) *device.Device {
+	o := device.DefaultOptions()
+	o.DeltaMax = 0
+	o.QuasistaticSigma = 0
+	o.Err1Q, o.Err2Q, o.ReadoutErr = 0, 0, 0
+	o.T1Min, o.T1Max, o.T2Factor = 1e9, 1e9, 1.5
+	return device.NewLine("charact", n, o)
+}
+
+func TestEstimateZZRecoverstruth(t *testing.T) {
+	dev := calmDevice(3)
+	opts := DefaultOptions()
+	opts.Shots = 2 // deterministic coherent evolution
+	for _, e := range dev.Edges {
+		nu, err := EstimateZZ(dev, e, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := dev.ZZ[e]
+		if rel := RelativeError(nu, truth); rel > 0.08 {
+			t.Errorf("edge %v: estimated %.1f kHz vs true %.1f kHz (rel %.3f)",
+				e, nu/1e3, truth/1e3, rel)
+		}
+	}
+}
+
+func TestEstimateStark(t *testing.T) {
+	dev := calmDevice(4)
+	opts := DefaultOptions()
+	opts.Shots = 2
+	// Spectator 3 next to the control 2 of ECR(2,1).
+	zz := dev.ZZ[device.NewEdge(2, 3)]
+	st, err := EstimateStark(dev, 2, 1, 3, zz, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := dev.Stark[device.Directed{Src: 2, Dst: 3}]
+	if math.Abs(st-truth) > 6e3 {
+		t.Errorf("Stark estimate %.1f kHz vs true %.1f kHz", st/1e3, truth/1e3)
+	}
+}
+
+func TestCharacterizeZZAllEdges(t *testing.T) {
+	dev := calmDevice(3)
+	opts := DefaultOptions()
+	opts.Shots = 2
+	learned, err := CharacterizeZZ(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(learned.ZZ) != len(dev.Edges) {
+		t.Fatalf("learned %d edges, want %d", len(learned.ZZ), len(dev.Edges))
+	}
+}
+
+func TestCompileFromLearnedCalibration(t *testing.T) {
+	// The closed loop: characterize the device, hand CA-EC the *learned*
+	// rates, and verify the compensation still suppresses the coherent
+	// error almost as well as with perfect knowledge.
+	dev := calmDevice(4)
+	opts := DefaultOptions()
+	opts.Shots = 2
+	learned, err := CharacterizeZZ(dev, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	believed := learned.ApplyTo(dev)
+	believed.Stark = dev.Stark // reuse true Stark; ZZ is the learned part
+
+	base := models.BuildFloquetIsing(4, 3)
+	sched.Schedule(base, believed)
+	ecOpts := caec.DefaultOptions()
+	ecOpts.MaterializeMin = 0
+	compiled, _, err := caec.Apply(base, believed, ecOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate against the TRUE device.
+	coh := sim.CoherentOnly(1)
+	coh.Workers = 1
+	got, err := sim.New(dev, coh).FinalState(compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sim.New(dev, sim.Ideal()).FinalState(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bareState, err := sim.New(dev, coh).FinalState(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fBare := linalg.FidelityPure(bareState, want)
+	fFixed := linalg.FidelityPure(got, want)
+	if fFixed < 0.99 {
+		t.Errorf("CA-EC from learned calibration: fidelity %.4f (bare %.4f)", fFixed, fBare)
+	}
+	if fFixed < fBare {
+		t.Errorf("learned compensation made things worse: %.4f < %.4f", fFixed, fBare)
+	}
+}

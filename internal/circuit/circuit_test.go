@@ -1,0 +1,157 @@
+package circuit
+
+import (
+	"strings"
+	"testing"
+
+	"casq/internal/gates"
+)
+
+func TestBuilderAndValidate(t *testing.T) {
+	c := New(3, 1)
+	c.AddLayer(OneQubitLayer).H(0).X(1).RZ(2, 0.5)
+	c.AddLayer(TwoQubitLayer).ECR(0, 1)
+	c.AddLayer(MeasureLayer).Measure(2, 0)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() != 3 {
+		t.Errorf("depth %d", c.Depth())
+	}
+	if c.CountGates(gates.ECR) != 1 || c.CountGates(gates.H) != 1 {
+		t.Error("gate counts wrong")
+	}
+}
+
+func TestQubitReusePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on qubit reuse")
+		}
+	}()
+	l := &Layer{Kind: OneQubitLayer}
+	l.H(0)
+	l.X(0)
+}
+
+func TestDDPulsesMayRepeat(t *testing.T) {
+	l := &Layer{Kind: TwoQubitLayer}
+	l.ECR(0, 1)
+	l.Add(Instruction{Gate: gates.XDD, Qubits: []int{2}, Tag: "dd", Time: 100})
+	l.Add(Instruction{Gate: gates.XDD, Qubits: []int{2}, Tag: "dd", Time: 300})
+	if len(l.Instrs) != 3 {
+		t.Error("dd pulses should be allowed to repeat on a qubit")
+	}
+}
+
+func TestActiveAndIdleQubits(t *testing.T) {
+	l := &Layer{Kind: TwoQubitLayer}
+	l.ECR(1, 2)
+	l.Add(Instruction{Gate: gates.Delay, Qubits: []int{0}, Params: []float64{100}})
+	active := l.ActiveQubits()
+	if !active[1] || !active[2] || active[0] {
+		t.Error("active qubits wrong")
+	}
+	idle := l.IdleQubits(4)
+	if len(idle) != 2 || idle[0] != 0 || idle[1] != 3 {
+		t.Errorf("idle = %v", idle)
+	}
+}
+
+func TestGateOn(t *testing.T) {
+	l := &Layer{Kind: TwoQubitLayer}
+	l.ECR(1, 2)
+	if in, ok := l.GateOn(2); !ok || in.Gate != gates.ECR {
+		t.Error("GateOn(2) should find the ECR")
+	}
+	if _, ok := l.GateOn(0); ok {
+		t.Error("GateOn(0) should find nothing")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := New(2, 0)
+	c.AddLayer(TwoQubitLayer).RZZ(0, 1, 0.5)
+	c2 := c.Clone()
+	c2.Layers[0].Instrs[0].Params[0] = 9
+	if c.Layers[0].Instrs[0].Params[0] != 0.5 {
+		t.Error("clone shares parameter storage")
+	}
+	cond := New(1, 1)
+	cond.AddLayer(OneQubitLayer).CondX(0, 0, 1)
+	cc := cond.Clone()
+	cc.Layers[0].Instrs[0].Cond.Value = 0
+	if cond.Layers[0].Instrs[0].Cond.Value != 1 {
+		t.Error("clone shares condition storage")
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	c := New(2, 1)
+	l := c.AddLayer(OneQubitLayer)
+	l.Instrs = append(l.Instrs, Instruction{Gate: gates.H, Qubits: []int{5}})
+	if err := c.Validate(); err == nil {
+		t.Error("out-of-range qubit not caught")
+	}
+
+	c2 := New(2, 1)
+	l2 := c2.AddLayer(MeasureLayer)
+	l2.Instrs = append(l2.Instrs, Instruction{Gate: gates.Measure, Qubits: []int{0}, CBit: 7})
+	if err := c2.Validate(); err == nil {
+		t.Error("out-of-range cbit not caught")
+	}
+
+	c3 := New(2, 1)
+	l3 := c3.AddLayer(TwoQubitLayer)
+	l3.Instrs = append(l3.Instrs, Instruction{Gate: gates.H, Qubits: []int{0}})
+	if err := c3.Validate(); err == nil {
+		t.Error("untagged 1q gate in 2q layer not caught")
+	}
+}
+
+func TestInsertLayer(t *testing.T) {
+	c := New(1, 0)
+	c.AddLayer(OneQubitLayer).H(0)
+	c.AddLayer(OneQubitLayer).X(0)
+	mid := c.InsertLayer(1, TwirlLayer)
+	mid.Z(0)
+	if c.Layers[1].Kind != TwirlLayer || c.Layers[2].Instrs[0].Gate != gates.XGate {
+		t.Error("InsertLayer misplaced")
+	}
+}
+
+func TestStringAndDraw(t *testing.T) {
+	c := New(2, 1)
+	c.AddLayer(OneQubitLayer).H(0)
+	c.AddLayer(TwoQubitLayer).ECR(0, 1)
+	c.AddLayer(MeasureLayer).Measure(0, 0)
+	s := c.String()
+	if !strings.Contains(s, "ecr q0,q1") || !strings.Contains(s, "->c0") {
+		t.Errorf("String() output missing content:\n%s", s)
+	}
+	d := c.Draw()
+	if !strings.Contains(d, "ecr:C") || !strings.Contains(d, "ecr:T") || !strings.Contains(d, "M") {
+		t.Errorf("Draw() output missing content:\n%s", d)
+	}
+}
+
+func TestTotalDuration(t *testing.T) {
+	c := New(1, 0)
+	l := c.AddLayer(OneQubitLayer)
+	l.H(0)
+	l.Start = 10
+	l.Duration = 60
+	if c.TotalDuration() != 70 {
+		t.Errorf("total duration %v", c.TotalDuration())
+	}
+}
+
+func TestTwoQubitGates(t *testing.T) {
+	l := &Layer{Kind: TwoQubitLayer}
+	l.ECR(0, 1)
+	l.Ucan(2, 3, 0.1, 0.2, 0.3)
+	l.Add(Instruction{Gate: gates.Delay, Qubits: []int{4}, Params: []float64{10}})
+	if len(l.TwoQubitGates()) != 2 {
+		t.Error("TwoQubitGates count wrong")
+	}
+}

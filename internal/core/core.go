@@ -1,0 +1,211 @@
+// Package core is the context-aware compiler: it ties the individual passes
+// (Pauli twirling, scheduling, CA-DD insertion, CA-EC compensation) into the
+// pipelines the paper evaluates, and provides the twirl-averaged execution
+// helpers the experiment harnesses use.
+//
+// The canonical pipeline per twirl instance is
+//
+//	stratified circuit -> twirl -> schedule -> DD -> CA-EC -> schedule
+//
+// matching Sec. IV: DD is inserted first so that CA-EC sees the pulse
+// schedule and compensates only what DD leaves behind (the combined strategy
+// of Fig. 10).
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"casq/internal/caec"
+	"casq/internal/circuit"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/sched"
+	"casq/internal/sim"
+	"casq/internal/twirl"
+)
+
+// Strategy selects the error-suppression configuration of a compilation.
+type Strategy struct {
+	Name       string
+	Twirl      bool
+	TwirlScope twirl.Scope
+	DD         dd.Strategy
+	DDOpts     dd.Options
+	EC         bool
+	ECOpts     caec.Options
+}
+
+// The named strategies benchmarked throughout the paper.
+
+// Bare applies scheduling only (readout correction is a simulator concern).
+func Bare() Strategy {
+	return Strategy{Name: "bare"}
+}
+
+// Twirled applies Pauli twirling only — the baseline of Figs. 6-8.
+func Twirled() Strategy {
+	return Strategy{Name: "twirled", Twirl: true}
+}
+
+// WithDD applies twirling plus a DD strategy.
+func WithDD(s dd.Strategy) Strategy {
+	opts := dd.DefaultOptions()
+	opts.Strategy = s
+	return Strategy{Name: "dd-" + s.String(), Twirl: true, DD: s, DDOpts: opts}
+}
+
+// CADD is the paper's context-aware dynamical decoupling.
+func CADD() Strategy {
+	st := WithDD(dd.ContextAware)
+	st.Name = "ca-dd"
+	return st
+}
+
+// CAEC is the paper's context-aware error compensation.
+func CAEC() Strategy {
+	return Strategy{Name: "ca-ec", Twirl: true, EC: true, ECOpts: caec.DefaultOptions()}
+}
+
+// Combined applies CA-DD first and CA-EC on what DD leaves behind
+// (Sec. V E).
+func Combined() Strategy {
+	st := CADD()
+	st.Name = "ca-ec+dd"
+	st.EC = true
+	st.ECOpts = caec.DefaultOptions()
+	return st
+}
+
+// Info reports what the passes did during one compilation.
+type Info struct {
+	DDReport dd.Report
+	ECStats  caec.Stats
+	Duration float64 // scheduled duration, ns
+}
+
+// Compiler compiles circuits for a device under a strategy.
+type Compiler struct {
+	Dev      *device.Device
+	Strategy Strategy
+	Rng      *rand.Rand
+}
+
+// New returns a Compiler with a deterministic twirl sampler.
+func New(dev *device.Device, st Strategy, seed int64) *Compiler {
+	return &Compiler{Dev: dev, Strategy: st, Rng: rand.New(rand.NewSource(seed))}
+}
+
+// Compile runs the pass pipeline on one twirl instance of the circuit.
+func (c *Compiler) Compile(circ *circuit.Circuit) (*circuit.Circuit, Info, error) {
+	var info Info
+	out := circ.Clone()
+	var err error
+	if c.Strategy.Twirl {
+		out, err = twirl.Instance(out, c.Strategy.TwirlScope, c.Rng)
+		if err != nil {
+			return nil, info, fmt.Errorf("core: twirl: %w", err)
+		}
+	}
+	sched.Schedule(out, c.Dev)
+	if c.Strategy.DD != dd.None {
+		info.DDReport, err = dd.Insert(out, c.Dev, c.Strategy.DDOpts)
+		if err != nil {
+			return nil, info, fmt.Errorf("core: dd: %w", err)
+		}
+	}
+	if c.Strategy.EC {
+		out, info.ECStats, err = caec.Apply(out, c.Dev, c.Strategy.ECOpts)
+		if err != nil {
+			return nil, info, fmt.Errorf("core: ca-ec: %w", err)
+		}
+	}
+	info.Duration = sched.Schedule(out, c.Dev)
+	if err := out.Validate(); err != nil {
+		return nil, info, fmt.Errorf("core: compiled circuit invalid: %w", err)
+	}
+	return out, info, nil
+}
+
+// RunOptions configure twirl-averaged execution.
+type RunOptions struct {
+	Instances int // twirl instances to average over (min 1)
+	Cfg       sim.Config
+}
+
+// Expectations compiles `Instances` twirl samples of the circuit and
+// averages the simulated expectation values across them, splitting the shot
+// budget evenly.
+func (c *Compiler) Expectations(circ *circuit.Circuit, obs []sim.ObsSpec, ro RunOptions) ([]float64, error) {
+	if ro.Instances < 1 {
+		ro.Instances = 1
+	}
+	shots := ro.Cfg.Shots
+	if shots < ro.Instances {
+		shots = ro.Instances
+	}
+	perInst := shots / ro.Instances
+	sums := make([]float64, len(obs))
+	for k := 0; k < ro.Instances; k++ {
+		compiled, _, err := c.Compile(circ)
+		if err != nil {
+			return nil, err
+		}
+		cfg := ro.Cfg
+		cfg.Shots = perInst
+		cfg.Seed = ro.Cfg.Seed + int64(k)*101
+		r := sim.New(c.Dev, cfg)
+		vals, err := r.Expectations(compiled, obs)
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			sums[i] += v
+		}
+	}
+	for i := range sums {
+		sums[i] /= float64(ro.Instances)
+	}
+	return sums, nil
+}
+
+// Counts compiles twirl samples and merges measured bitstring counts.
+func (c *Compiler) Counts(circ *circuit.Circuit, ro RunOptions) (sim.Result, error) {
+	if ro.Instances < 1 {
+		ro.Instances = 1
+	}
+	shots := ro.Cfg.Shots
+	if shots < ro.Instances {
+		shots = ro.Instances
+	}
+	perInst := shots / ro.Instances
+	total := sim.Result{Counts: map[string]int{}}
+	for k := 0; k < ro.Instances; k++ {
+		compiled, _, err := c.Compile(circ)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		cfg := ro.Cfg
+		cfg.Shots = perInst
+		cfg.Seed = ro.Cfg.Seed + int64(k)*101
+		r := sim.New(c.Dev, cfg)
+		res, err := r.Counts(compiled)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		for k2, v := range res.Counts {
+			total.Counts[k2] += v
+		}
+		total.Shots += res.Shots
+	}
+	return total, nil
+}
+
+// IdealExpectations runs the uncompiled circuit noiselessly — the "Ideal"
+// curves of Figs. 6-7.
+func IdealExpectations(dev *device.Device, circ *circuit.Circuit, obs []sim.ObsSpec) ([]float64, error) {
+	c := circ.Clone()
+	sched.Schedule(c, dev)
+	r := sim.New(dev, sim.Ideal())
+	return r.Expectations(c, obs)
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"casq/internal/circuit"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/gates"
+	"casq/internal/models"
+	"casq/internal/sim"
+)
+
+func testDevice() *device.Device {
+	return device.NewLine("core", 4, device.DefaultOptions())
+}
+
+func TestStrategyPresets(t *testing.T) {
+	cases := []struct {
+		st     Strategy
+		twirl  bool
+		ddKind dd.Strategy
+		ec     bool
+	}{
+		{Bare(), false, dd.None, false},
+		{Twirled(), true, dd.None, false},
+		{WithDD(dd.Aligned), true, dd.Aligned, false},
+		{CADD(), true, dd.ContextAware, false},
+		{CAEC(), true, dd.None, true},
+		{Combined(), true, dd.ContextAware, true},
+	}
+	for _, c := range cases {
+		if c.st.Twirl != c.twirl || c.st.DD != c.ddKind || c.st.EC != c.ec {
+			t.Errorf("strategy %s misconfigured: %+v", c.st.Name, c.st)
+		}
+	}
+}
+
+func TestCompileProducesValidCircuits(t *testing.T) {
+	dev := testDevice()
+	base := models.BuildFloquetIsing(4, 2)
+	for _, st := range []Strategy{Bare(), Twirled(), WithDD(dd.Aligned), CADD(), CAEC(), Combined()} {
+		comp := New(dev, st, 11)
+		out, info, err := comp.Compile(base)
+		if err != nil {
+			t.Fatalf("%s: %v", st.Name, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("%s produced invalid circuit: %v", st.Name, err)
+		}
+		if info.Duration <= 0 {
+			t.Errorf("%s: zero duration", st.Name)
+		}
+		if st.DD == dd.ContextAware && info.DDReport.Total == 0 {
+			t.Errorf("%s: no DD pulses inserted", st.Name)
+		}
+		if st.EC && info.ECStats.VirtualRZ == 0 {
+			t.Errorf("%s: no EC corrections", st.Name)
+		}
+	}
+}
+
+func TestCompileDoesNotMutateInput(t *testing.T) {
+	dev := testDevice()
+	base := models.BuildFloquetIsing(4, 1)
+	depth := base.Depth()
+	comp := New(dev, Combined(), 1)
+	if _, _, err := comp.Compile(base); err != nil {
+		t.Fatal(err)
+	}
+	if base.Depth() != depth {
+		t.Error("Compile mutated the input circuit")
+	}
+	if base.CountGates(gates.XDD) != 0 {
+		t.Error("Compile inserted pulses into the input circuit")
+	}
+}
+
+func TestExpectationsAveragesInstances(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(4, 0)
+	c.AddLayer(circuit.OneQubitLayer).H(0)
+	c.AddLayer(circuit.TwoQubitLayer).ECR(1, 2)
+	comp := New(dev, Twirled(), 5)
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 64
+	vals, err := comp.Expectations(c, []sim.ObsSpec{{0: 'X'}}, RunOptions{Instances: 4, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]) > 1 {
+		t.Errorf("expectation out of range: %v", vals[0])
+	}
+	if vals[0] < 0.5 {
+		t.Errorf("<X0> = %v, expected close to 1 for short circuit", vals[0])
+	}
+}
+
+func TestCountsMergesInstances(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(4, 1)
+	c.AddLayer(circuit.OneQubitLayer).X(0)
+	c.AddLayer(circuit.MeasureLayer).Measure(0, 0)
+	comp := New(dev, Twirled(), 5)
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 80
+	cfg.EnableReadoutErr = false
+	res, err := comp.Counts(c, RunOptions{Instances: 4, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Shots != 80 {
+		t.Errorf("merged shots %d", res.Shots)
+	}
+	if p := res.Probability("1"); p < 0.95 {
+		t.Errorf("P(1) = %v", p)
+	}
+}
+
+func TestIdealExpectations(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(4, 0)
+	c.AddLayer(circuit.OneQubitLayer).H(0)
+	vals, err := IdealExpectations(dev, c, []sim.ObsSpec{{0: 'X'}, {0: 'Z'}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vals[0]-1) > 1e-9 || math.Abs(vals[1]) > 1e-9 {
+		t.Errorf("ideal <X>,<Z> = %v", vals)
+	}
+}
+
+func TestCombinedImprovesOnTwirledIsing(t *testing.T) {
+	// End-to-end: the combined strategy must beat plain twirling on the
+	// Ising workload at a depth where coherent errors dominate.
+	devOpts := device.DefaultOptions()
+	devOpts.Seed = 37
+	dev := device.NewLine("e2e", 6, devOpts)
+	c := models.BuildFloquetIsing(6, 4)
+	obs := []sim.ObsSpec{{0: 'X', 5: 'X'}}
+	run := func(st Strategy) float64 {
+		comp := New(dev, st, 3)
+		cfg := sim.DefaultConfig()
+		cfg.Shots = 96
+		cfg.EnableReadoutErr = false
+		vals, err := comp.Expectations(c, obs, RunOptions{Instances: 6, Cfg: cfg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals[0] // ideal value at d=4 is +1
+	}
+	plain := run(Twirled())
+	combined := run(Combined())
+	if combined < plain+0.05 {
+		t.Errorf("combined (%v) should clearly beat twirled (%v)", combined, plain)
+	}
+}

@@ -1,0 +1,152 @@
+package device
+
+import (
+	"testing"
+)
+
+func TestNewLineTopology(t *testing.T) {
+	d := NewLine("l", 5, DefaultOptions())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Edges) != 4 {
+		t.Errorf("line(5) should have 4 edges, got %d", len(d.Edges))
+	}
+	if !d.HasEdge(2, 3) || d.HasEdge(0, 2) {
+		t.Error("edge membership wrong")
+	}
+	nb := d.Neighbors(2)
+	if len(nb) != 2 || nb[0] != 1 || nb[1] != 3 {
+		t.Errorf("neighbors(2) = %v", nb)
+	}
+	// Alternating ECR directions: edge (0,1) controlled by 0, (1,2) by 2.
+	if d.ECRDir[NewEdge(0, 1)].Src != 0 || d.ECRDir[NewEdge(1, 2)].Src != 2 {
+		t.Error("ECR directions not alternating")
+	}
+}
+
+func TestNewRingTopology(t *testing.T) {
+	d := NewRing("r", 12, DefaultOptions())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Edges) != 12 {
+		t.Errorf("ring(12) should have 12 edges, got %d", len(d.Edges))
+	}
+	if !d.HasEdge(0, 11) {
+		t.Error("ring closure edge missing")
+	}
+}
+
+func TestCalibrationRanges(t *testing.T) {
+	opts := DefaultOptions()
+	d := NewLine("cal", 6, opts)
+	for _, e := range d.Edges {
+		if d.ZZ[e] < opts.ZZMin || d.ZZ[e] > opts.ZZMax {
+			t.Errorf("ZZ rate %v outside range", d.ZZ[e])
+		}
+	}
+	for q := 0; q < 6; q++ {
+		if d.T1[q] < opts.T1Min || d.T1[q] > opts.T1Max {
+			t.Errorf("T1 out of range")
+		}
+		if d.T2[q] > 2*d.T1[q] {
+			t.Errorf("T2 exceeds physical bound 2*T1")
+		}
+		if d.Delta[q] < 0 || d.Delta[q] > opts.DeltaMax {
+			t.Errorf("Delta out of range")
+		}
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a := NewLine("a", 4, DefaultOptions())
+	b := NewLine("b", 4, DefaultOptions())
+	for _, e := range a.Edges {
+		if a.ZZ[e] != b.ZZ[e] {
+			t.Fatal("same seed must give identical calibration")
+		}
+	}
+	opts := DefaultOptions()
+	opts.Seed = 999
+	c := NewLine("c", 4, opts)
+	same := true
+	for _, e := range a.Edges {
+		if a.ZZ[e] != c.ZZ[e] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should give different calibration")
+	}
+}
+
+func TestCrosstalkGraphIncludesNNN(t *testing.T) {
+	d := NewHeavyHexFragment(DefaultOptions())
+	g := d.CrosstalkGraph()
+	if !g.HasEdge(2, 4) {
+		t.Error("NNN collision edge missing from crosstalk graph")
+	}
+	cg := d.CouplingGraph()
+	if cg.HasEdge(2, 4) {
+		t.Error("NNN edge must not be in the coupling graph")
+	}
+	if d.ZZRate(2, 4) <= 0 {
+		t.Error("NNN edge must carry a ZZ rate")
+	}
+}
+
+func TestLayerFidelityDevice(t *testing.T) {
+	d, labels := NewLayerFidelityDevice(DefaultOptions())
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.NQubits != 10 || len(labels) != 10 {
+		t.Fatal("layer-fidelity device must have 10 qubits")
+	}
+	// The paper's adjacent-control pair Q37-Q38 maps to qubits 1 and 2.
+	if labels[1] != 37 || labels[2] != 38 {
+		t.Error("label mapping broken")
+	}
+	if !d.HasEdge(1, 2) {
+		t.Error("ctrl-ctrl edge (37,38) missing")
+	}
+	// The idle pair (59,60) maps to (8,9).
+	if !d.HasEdge(8, 9) {
+		t.Error("idle-pair edge (59,60) missing")
+	}
+}
+
+func TestValidateCatchesMistakes(t *testing.T) {
+	d := NewLine("bad", 3, DefaultOptions())
+	d.Edges = append(d.Edges, Edge{2, 1}) // unnormalized
+	if err := d.Validate(); err == nil {
+		t.Error("unnormalized edge not caught")
+	}
+
+	d2 := NewLine("bad2", 3, DefaultOptions())
+	delete(d2.ECRDir, NewEdge(0, 1))
+	if err := d2.Validate(); err == nil {
+		t.Error("missing ECR direction not caught")
+	}
+
+	d3 := NewLine("bad3", 3, DefaultOptions())
+	d3.T1 = d3.T1[:2]
+	if err := d3.Validate(); err == nil {
+		t.Error("short calibration array not caught")
+	}
+}
+
+func TestNewEdgeNormalizes(t *testing.T) {
+	if NewEdge(5, 2) != (Edge{2, 5}) {
+		t.Error("NewEdge must normalize ordering")
+	}
+}
+
+func TestAllCrosstalkEdges(t *testing.T) {
+	d := NewHeavyHexFragment(DefaultOptions())
+	all := d.AllCrosstalkEdges()
+	if len(all) != len(d.Edges)+1 {
+		t.Errorf("AllCrosstalkEdges length %d", len(all))
+	}
+}

@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic-backend substitute: Ramsey characterizations
+// (Fig. 3), secondary error characterizations (Fig. 4), the CA-DD coloring
+// example (Fig. 5), the Floquet Ising chain (Fig. 6), the Heisenberg ring
+// and its mitigation overhead (Fig. 7), layer fidelity (Fig. 8), dynamic
+// circuits (Fig. 9), the combined strategy (Fig. 10), and the
+// error/suppression matrix (Table I).
+//
+// Each harness returns a Figure: named series over a common x axis plus
+// free-form notes, renderable as an aligned text table. The cmd/experiments
+// binary prints them; the root bench suite regenerates them under
+// testing.B.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Figure is a regenerated paper figure or table.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	Notes  []string
+}
+
+// AddSeries appends a curve.
+func (f *Figure) AddSeries(label string, x, y []float64) {
+	f.Series = append(f.Series, Series{Label: label, X: x, Y: y})
+}
+
+// Notef appends a formatted note.
+func (f *Figure) Notef(format string, args ...any) {
+	f.Notes = append(f.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render prints the figure as an aligned text table: the union of x values
+// as rows, one column per series.
+func (f Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", f.ID, f.Title)
+	xset := map[float64]bool{}
+	for _, s := range f.Series {
+		for _, x := range s.X {
+			xset[x] = true
+		}
+	}
+	xs := make([]float64, 0, len(xset))
+	for x := range xset {
+		xs = append(xs, x)
+	}
+	sort.Float64s(xs)
+
+	if len(xs) > 0 {
+		w := 12
+		fmt.Fprintf(&b, "%-10s", f.XLabel)
+		for _, s := range f.Series {
+			fmt.Fprintf(&b, " %*s", w, trunc(s.Label, w))
+		}
+		b.WriteString("\n")
+		lookup := make([]map[float64]float64, len(f.Series))
+		for i, s := range f.Series {
+			lookup[i] = map[float64]float64{}
+			for j, x := range s.X {
+				lookup[i][x] = s.Y[j]
+			}
+		}
+		for _, x := range xs {
+			fmt.Fprintf(&b, "%-10.4g", x)
+			for i := range f.Series {
+				if y, ok := lookup[i][x]; ok {
+					fmt.Fprintf(&b, " %*.4f", w, y)
+				} else {
+					fmt.Fprintf(&b, " %*s", w, "-")
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
+	for _, n := range f.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func trunc(s string, w int) string {
+	if len(s) <= w {
+		return s
+	}
+	return s[:w-1] + "…"
+}
+
+// Options control experiment cost and reproducibility.
+type Options struct {
+	Seed      int64
+	Shots     int // trajectory budget per data point
+	Instances int // twirl instances per data point
+	MaxDepth  int // depth sweep limit
+	Fast      bool
+}
+
+// DefaultOptions is the full-quality configuration used to produce
+// EXPERIMENTS.md.
+func DefaultOptions() Options {
+	return Options{Seed: 11, Shots: 240, Instances: 8, MaxDepth: 0}
+}
+
+// FastOptions is a reduced configuration for benchmarks and smoke tests.
+func FastOptions() Options {
+	return Options{Seed: 11, Shots: 48, Instances: 4, MaxDepth: 4, Fast: true}
+}
+
+func (o Options) depths(def []int) []int {
+	if o.MaxDepth <= 0 {
+		return def
+	}
+	var out []int
+	for _, d := range def {
+		if d <= o.MaxDepth {
+			out = append(out, d)
+		}
+	}
+	if len(out) == 0 {
+		out = []int{1}
+	}
+	return out
+}

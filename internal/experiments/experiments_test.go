@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func fastOpts() Options {
+	o := FastOptions()
+	o.Shots = 16
+	o.Instances = 2
+	o.MaxDepth = 2
+	return o
+}
+
+// TestAllExperimentsRun smoke-tests every registered harness at minimal
+// sampling: they must complete without error and produce renderable
+// figures.
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			fig, err := Run(id, fastOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			out := fig.Render()
+			if !strings.Contains(out, fig.ID) {
+				t.Error("render missing figure id")
+			}
+			if len(fig.Series) == 0 && len(fig.Notes) == 0 {
+				t.Error("figure has no content")
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", fastOpts()); err == nil {
+		t.Error("unknown id must error")
+	}
+}
+
+func TestIDsComplete(t *testing.T) {
+	ids := IDs()
+	want := []string{"fig3c", "fig3d", "fig3e", "fig3f", "fig4a", "fig4b", "fig4c",
+		"fig5", "fig6", "fig7c", "fig7d", "fig8", "fig9", "fig10", "table1"}
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
+	}
+	set := map[string]bool{}
+	for _, id := range ids {
+		set[id] = true
+	}
+	for _, w := range want {
+		if !set[w] {
+			t.Errorf("missing experiment %s", w)
+		}
+	}
+}
+
+func TestFigureRender(t *testing.T) {
+	var f Figure
+	f.ID = "test"
+	f.Title = "demo"
+	f.XLabel = "x"
+	f.AddSeries("a", []float64{1, 2}, []float64{0.5, 0.25})
+	f.AddSeries("b", []float64{1, 3}, []float64{0.9, 0.8})
+	f.Notef("hello %d", 42)
+	out := f.Render()
+	if !strings.Contains(out, "hello 42") || !strings.Contains(out, "0.5000") {
+		t.Errorf("render output:\n%s", out)
+	}
+	// x=3 has no value for series a: rendered as "-".
+	if !strings.Contains(out, "-") {
+		t.Error("missing-value placeholder absent")
+	}
+}
+
+func TestOptionsDepths(t *testing.T) {
+	o := Options{MaxDepth: 3}
+	got := o.depths([]int{1, 2, 4, 8})
+	if len(got) != 2 || got[1] != 2 {
+		t.Errorf("depths = %v", got)
+	}
+	o.MaxDepth = 0
+	if len(o.depths([]int{1, 2})) != 2 {
+		t.Error("MaxDepth=0 should keep defaults")
+	}
+}
+
+// TestFig3cOrdering verifies the headline phenomenology of Fig. 3c at
+// moderate sampling: staggered DD and CA-EC hold fidelity while the bare
+// circuit decays and aligned DD sits in between.
+func TestFig3cOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := FastOptions()
+	o.Shots = 64
+	o.MaxDepth = 6
+	fig, err := Fig3cCaseI(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]float64{}
+	for _, s := range fig.Series {
+		last[s.Label] = s.Y[len(s.Y)-1]
+	}
+	if last["noisy"] > 0.8 {
+		t.Errorf("bare Ramsey should decay: %v", last["noisy"])
+	}
+	if last["staggered"] < last["noisy"]+0.1 || last["ca-ec"] < last["noisy"]+0.1 {
+		t.Errorf("suppression should clearly beat bare: %v", last)
+	}
+}

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"casq/internal/caec"
+	"casq/internal/core"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/models"
+	"casq/internal/sim"
+)
+
+// ramseyStrategy names one suppression configuration in the Fig. 3 panels.
+type ramseyStrategy struct {
+	label string
+	dd    dd.Strategy
+	ec    bool
+}
+
+// ramseyFidelity runs the Ramsey experiment of the given case/strategy at
+// depth d and returns the mean probe fidelity F = (1 + <X>)/2 (overlap with
+// |+>, paper Fig. 3b).
+func ramseyFidelity(dev *device.Device, rc models.RamseyCase, st ramseyStrategy, d int, opts Options) (float64, error) {
+	spec := models.BuildRamsey(rc, d, 500)
+	strategy := core.Strategy{Name: st.label}
+	if st.dd != dd.None {
+		o := dd.DefaultOptions()
+		o.Strategy = st.dd
+		strategy.DD = st.dd
+		strategy.DDOpts = o
+	}
+	if st.ec {
+		strategy.EC = true
+		strategy.ECOpts = caec.DefaultOptions()
+	}
+	comp := core.New(dev, strategy, opts.Seed+int64(d))
+	obs := make([]sim.ObsSpec, len(spec.Probes))
+	for i, q := range spec.Probes {
+		obs[i] = sim.ObsSpec{q: 'X'}
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Shots = opts.Shots
+	cfg.Seed = opts.Seed + int64(d)*7
+	cfg.EnableReadoutErr = false // Ramsey plots are readout-corrected
+	vals, err := comp.Expectations(spec.Circuit, obs, core.RunOptions{Instances: 1, Cfg: cfg})
+	if err != nil {
+		return 0, err
+	}
+	f := 0.0
+	for _, v := range vals {
+		f += (1 + v) / 2
+	}
+	return f / float64(len(vals)), nil
+}
+
+func ramseyFigure(id, title string, rc models.RamseyCase, strategies []ramseyStrategy, opts Options) (Figure, error) {
+	fig := Figure{ID: id, Title: title, XLabel: "depth d", YLabel: "Ramsey fidelity"}
+	devOpts := device.DefaultOptions()
+	devOpts.Seed = 41
+	dev := models.RamseyDevice(rc, devOpts)
+	depths := opts.depths([]int{0, 1, 2, 3, 4, 6, 8, 10, 13, 16, 20, 24})
+	for _, st := range strategies {
+		xs := make([]float64, 0, len(depths))
+		ys := make([]float64, 0, len(depths))
+		for _, d := range depths {
+			f, err := ramseyFidelity(dev, rc, st, d, opts)
+			if err != nil {
+				return fig, fmt.Errorf("%s/%s d=%d: %w", id, st.label, d, err)
+			}
+			xs = append(xs, float64(d))
+			ys = append(ys, f)
+		}
+		fig.AddSeries(st.label, xs, ys)
+	}
+	fig.Notef("device %s, tau=500 ns per idle interval; probes per %s", dev.Name, rc)
+	return fig, nil
+}
+
+// Fig3cCaseI reproduces paper Fig. 3c: two adjacent idle qubits under no
+// suppression, aligned DD, staggered DD, error compensation, and EC+DD.
+func Fig3cCaseI(opts Options) (Figure, error) {
+	return ramseyFigure("fig3c", "Ramsey case I: adjacent idle qubits", models.CaseIdlePair,
+		[]ramseyStrategy{
+			{label: "noisy", dd: dd.None},
+			{label: "aligned-dd", dd: dd.Aligned},
+			{label: "staggered", dd: dd.Staggered},
+			{label: "ca-ec", ec: true},
+			{label: "ec+dd", dd: dd.Aligned, ec: true},
+		}, opts)
+}
+
+// Fig3dCaseII reproduces paper Fig. 3d: the control-spectator context.
+func Fig3dCaseII(opts Options) (Figure, error) {
+	return ramseyFigure("fig3d", "Ramsey case II: control spectator", models.CaseControlSpectator,
+		[]ramseyStrategy{
+			{label: "noisy", dd: dd.None},
+			{label: "aligned-dd", dd: dd.Aligned},
+			{label: "ca-dd", dd: dd.ContextAware},
+			{label: "ca-ec", ec: true},
+		}, opts)
+}
+
+// Fig3eCaseIII reproduces paper Fig. 3e: the target-spectator context.
+func Fig3eCaseIII(opts Options) (Figure, error) {
+	return ramseyFigure("fig3e", "Ramsey case III: target spectator", models.CaseTargetSpectator,
+		[]ramseyStrategy{
+			{label: "noisy", dd: dd.None},
+			{label: "ca-dd", dd: dd.ContextAware},
+			{label: "ca-ec", ec: true},
+		}, opts)
+}
+
+// Fig3fCaseIV reproduces paper Fig. 3f: adjacent control qubits, where DD
+// cannot act and only error compensation helps.
+func Fig3fCaseIV(opts Options) (Figure, error) {
+	return ramseyFigure("fig3f", "Ramsey case IV: adjacent controls", models.CaseControlControl,
+		[]ramseyStrategy{
+			{label: "noisy", dd: dd.None},
+			{label: "ca-dd", dd: dd.ContextAware},
+			{label: "ca-ec", ec: true},
+		}, opts)
+}

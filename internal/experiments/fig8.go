@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+
+	"casq/internal/core"
+	"casq/internal/dd"
+	"casq/internal/device"
+	"casq/internal/layerfid"
+)
+
+// Fig8LayerFidelity reproduces paper Fig. 8: the layer fidelity of a sparse
+// 10-qubit layer (3 ECR gates, 4 idle qubits, one adjacent-control pair and
+// one adjacent idle pair) under bare twirling, context-unaware DD, CA-DD,
+// and CA-EC, plus the PEC sampling-overhead base gamma = LF^-2.
+//
+// Paper values: LF 0.648 / 0.743 / 0.822 / 0.881 and gamma 2.38 / 1.81 /
+// 1.48 / 1.29 for bare / DD / CA-DD / CA-EC; CA-EC wins because the
+// Ctrl-Ctrl ZZ between Q37 and Q38 is invisible to DD.
+func Fig8LayerFidelity(opts Options) (Figure, error) {
+	fig := Figure{ID: "fig8", Title: "layer fidelity, 10-qubit sparse layer", XLabel: "strategy#", YLabel: "LF"}
+	devOpts := device.DefaultOptions()
+	devOpts.Seed = 47
+	// The paper's device sits in a noisier regime than our default ranges
+	// (bare LF 0.648 over 10 qubits): raise the coherent crosstalk, slow
+	// incoherent noise and gate error accordingly.
+	devOpts.ZZMin, devOpts.ZZMax = 90e3, 160e3
+	devOpts.Err2Q = 1.1e-2
+	devOpts.QuasistaticSigma = 3e3
+	dev, layer, labels := layerfid.BenchmarkLayerDevice(devOpts)
+	// The paper singles out the Ctrl-Ctrl pair Q37-Q38 as carrying an
+	// unusually strong ZZ (near-collision) that DD cannot suppress — the
+	// reason CA-EC outperforms CA-DD on this layer. Mirror that here on the
+	// corresponding edge (1,2).
+	dev.ZZ[device.NewEdge(1, 2)] = 230e3
+
+	lfOpts := layerfid.DefaultOptions()
+	lfOpts.Seed = opts.Seed
+	lfOpts.Instances = opts.Instances
+	lfOpts.Shots = max(8, opts.Shots/4)
+	if opts.Fast {
+		lfOpts.Depths = []int{1, 2, 4}
+		lfOpts.PauliRounds = 3
+	}
+
+	strategies := []core.Strategy{core.Twirled(), core.WithDD(dd.Aligned), core.CADD(), core.CAEC()}
+	paper := map[string][2]float64{
+		"twirled":    {0.648, 2.38},
+		"dd-aligned": {0.743, 1.81},
+		"ca-dd":      {0.822, 1.48},
+		"ca-ec":      {0.881, 1.29},
+	}
+	var xs, lfs []float64
+	var results []layerfid.Result
+	for i, st := range strategies {
+		res, err := layerfid.Measure(dev, layer, st, lfOpts)
+		if err != nil {
+			return fig, fmt.Errorf("fig8/%s: %w", st.Name, err)
+		}
+		results = append(results, res)
+		xs = append(xs, float64(i))
+		lfs = append(lfs, res.LF)
+		p := paper[st.Name]
+		fig.Notef("%-12s LF=%.3f gamma=%.2f   (paper: LF=%.3f gamma=%.2f)", st.Name, res.LF, res.Gamma, p[0], p[1])
+	}
+	fig.AddSeries("LF", xs, lfs)
+	for _, res := range results {
+		for _, pr := range res.Partitions {
+			fig.Notef("  %-10s %-16s F=%.4f", res.Strategy, pr.Partition.Label, pr.Fidelity)
+		}
+	}
+	if len(results) == 4 {
+		bare, ddRes, cadd, caec := results[0], results[1], results[2], results[3]
+		fig.Notef("LF gains: CA-DD/bare=%.2fx (paper 1.26x), CA-EC/bare=%.2fx (paper 1.36x), DD/bare=%.2fx (paper 1.14x)",
+			cadd.LF/bare.LF, caec.LF/bare.LF, ddRes.LF/bare.LF)
+		if caec.Gamma > 0 && cadd.Gamma > 0 {
+			d := 10.0
+			ovDD := powf(ddRes.Gamma, d)
+			fig.Notef("10-layer overhead reduction vs DD: CA-DD %.1fx (paper ~7x), CA-EC %.1fx (paper ~30x)",
+				ovDD/powf(cadd.Gamma, d), ovDD/powf(caec.Gamma, d))
+		}
+	}
+	fig.Notef("physical qubit labels: %v", labels)
+	return fig, nil
+}
+
+func powf(b, e float64) float64 {
+	r := 1.0
+	for i := 0; i < int(e); i++ {
+		r *= b
+	}
+	return r
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one figure/table.
+type Runner func(Options) (Figure, error)
+
+// Registry maps experiment ids to their harnesses.
+var Registry = map[string]Runner{
+	"fig3c":  Fig3cCaseI,
+	"fig3d":  Fig3dCaseII,
+	"fig3e":  Fig3eCaseIII,
+	"fig3f":  Fig3fCaseIV,
+	"fig4a":  Fig4aStark,
+	"fig4b":  Fig4bParity,
+	"fig4c":  Fig4cNNN,
+	"fig5":   Fig5Coloring,
+	"fig6":   Fig6Ising,
+	"fig7c":  Fig7cHeisenberg,
+	"fig7d":  Fig7dOverhead,
+	"fig8":   Fig8LayerFidelity,
+	"fig9":   Fig9Dynamic,
+	"fig10":  Fig10Combined,
+	"table1": TableI,
+}
+
+// IDs returns the registered experiment ids in order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by id.
+func Run(id string, opts Options) (Figure, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return Figure{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return r(opts)
+}

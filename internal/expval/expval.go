@@ -1,0 +1,135 @@
+// Package expval provides observable estimation utilities on top of raw
+// measurement counts: marginal probabilities, Pauli-Z expectation values,
+// and tensor-product readout-error inversion (the "readout correction" the
+// paper applies before comparing suppression strategies).
+package expval
+
+import (
+	"errors"
+	"math"
+
+	"casq/internal/sim"
+)
+
+// MarginalProbability returns the probability that classical bit `bit`
+// reads v.
+func MarginalProbability(res sim.Result, bit, v int) float64 {
+	if res.Shots == 0 {
+		return 0
+	}
+	hits := 0
+	for key, n := range res.Counts {
+		if bit < len(key) && int(key[bit]-'0') == v {
+			hits += n
+		}
+	}
+	return float64(hits) / float64(res.Shots)
+}
+
+// ZExpectation returns <Z> of the given classical bit: P(0) - P(1).
+func ZExpectation(res sim.Result, bit int) float64 {
+	return MarginalProbability(res, bit, 0) - MarginalProbability(res, bit, 1)
+}
+
+// ZZExpectation returns <Z_a Z_b> over two classical bits.
+func ZZExpectation(res sim.Result, a, b int) float64 {
+	if res.Shots == 0 {
+		return 0
+	}
+	s := 0
+	for key, n := range res.Counts {
+		za, zb := 1, 1
+		if a < len(key) && key[a] == '1' {
+			za = -1
+		}
+		if b < len(key) && key[b] == '1' {
+			zb = -1
+		}
+		s += za * zb * n
+	}
+	return float64(s) / float64(res.Shots)
+}
+
+// CorrectReadout inverts independent symmetric per-bit assignment errors on
+// a joint probability over the listed classical bits: for each bit with
+// flip probability e, <Z> scales by 1/(1-2e), so the joint probability of a
+// specific pattern is reconstructed from the corrected Z-moments.
+// probs maps bit index -> assignment error. Returns the corrected
+// probability of the given pattern over `bits` ('0'/'1' per entry).
+func CorrectReadout(res sim.Result, bits []int, pattern string, errs []float64) (float64, error) {
+	if len(bits) != len(pattern) || len(bits) != len(errs) {
+		return 0, errors.New("expval: bits/pattern/errs length mismatch")
+	}
+	if len(bits) > 16 {
+		return 0, errors.New("expval: too many bits for moment inversion")
+	}
+	// P(pattern) = 2^-k * sum over subsets S of prod_{i in S} z_i(pattern)
+	// * <prod_{i in S} Z_i>_corrected.
+	k := len(bits)
+	total := 0.0
+	for mask := 0; mask < 1<<k; mask++ {
+		// Corrected moment of subset `mask`.
+		moment := momentOf(res, bits, mask)
+		scale := 1.0
+		signTarget := 1.0
+		valid := true
+		for i := 0; i < k; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			den := 1 - 2*errs[i]
+			if den <= 0 {
+				valid = false
+				break
+			}
+			scale /= den
+			if pattern[i] == '1' {
+				signTarget = -signTarget
+			}
+		}
+		if !valid {
+			return 0, errors.New("expval: readout error >= 0.5 is uninvertible")
+		}
+		total += signTarget * moment * scale
+	}
+	p := total / float64(int(1)<<k)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return p, nil
+}
+
+func momentOf(res sim.Result, bits []int, mask int) float64 {
+	if res.Shots == 0 {
+		return 0
+	}
+	s := 0
+	for key, n := range res.Counts {
+		z := 1
+		for i, b := range bits {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			if b < len(key) && key[b] == '1' {
+				z = -z
+			}
+		}
+		s += z * n
+	}
+	return float64(s) / float64(res.Shots)
+}
+
+// BinomialStdErr returns the standard error of an empirical probability.
+func BinomialStdErr(p float64, shots int) float64 {
+	if shots <= 0 {
+		return 0
+	}
+	v := p * (1 - p)
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v / float64(shots))
+}

@@ -1,0 +1,103 @@
+package expval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casq/internal/sim"
+)
+
+func res(counts map[string]int) sim.Result {
+	shots := 0
+	for _, n := range counts {
+		shots += n
+	}
+	return sim.Result{Counts: counts, Shots: shots}
+}
+
+func TestMarginalAndZ(t *testing.T) {
+	r := res(map[string]int{"00": 50, "11": 30, "01": 20})
+	if p := MarginalProbability(r, 0, 0); math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("P(bit0=0) = %v", p)
+	}
+	if z := ZExpectation(r, 1); math.Abs(z-0.0) > 1e-12 {
+		t.Errorf("<Z1> = %v", z) // P(0)=0.5, P(1)=0.5
+	}
+}
+
+func TestZZExpectation(t *testing.T) {
+	r := res(map[string]int{"00": 40, "11": 40, "01": 10, "10": 10})
+	if zz := ZZExpectation(r, 0, 1); math.Abs(zz-0.6) > 1e-12 {
+		t.Errorf("<ZZ> = %v", zz)
+	}
+}
+
+func TestCorrectReadoutIdentity(t *testing.T) {
+	r := res(map[string]int{"00": 75, "11": 25})
+	p, err := CorrectReadout(r, []int{0, 1}, "00", []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.75) > 1e-12 {
+		t.Errorf("zero-error correction changed p: %v", p)
+	}
+}
+
+func TestCorrectReadoutInvertsFlips(t *testing.T) {
+	// Start from a known truth, apply symmetric flips, correct, recover.
+	rng := rand.New(rand.NewSource(3))
+	eps := []float64{0.03, 0.08}
+	trueP := map[string]float64{"00": 0.6, "11": 0.4}
+	counts := map[string]int{}
+	n := 400000
+	for i := 0; i < n; i++ {
+		var bits [2]byte
+		s := "11"
+		if rng.Float64() < trueP["00"] {
+			s = "00"
+		}
+		for k := 0; k < 2; k++ {
+			bits[k] = s[k]
+			if rng.Float64() < eps[k] {
+				bits[k] = '0' + ('1' - bits[k])
+			}
+		}
+		counts[string(bits[:])]++
+	}
+	r := res(counts)
+	p, err := CorrectReadout(r, []int{0, 1}, "00", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.6) > 0.01 {
+		t.Errorf("corrected P(00) = %v, want 0.6", p)
+	}
+	p11, err := CorrectReadout(r, []int{0, 1}, "11", eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p11-0.4) > 0.01 {
+		t.Errorf("corrected P(11) = %v, want 0.4", p11)
+	}
+}
+
+func TestCorrectReadoutRejectsBadInput(t *testing.T) {
+	r := res(map[string]int{"0": 1})
+	if _, err := CorrectReadout(r, []int{0}, "00", []float64{0}); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := CorrectReadout(r, []int{0}, "0", []float64{0.5}); err == nil {
+		t.Error("uninvertible error rate not rejected")
+	}
+}
+
+func TestBinomialStdErr(t *testing.T) {
+	se := BinomialStdErr(0.5, 100)
+	if math.Abs(se-0.05) > 1e-12 {
+		t.Errorf("stderr %v", se)
+	}
+	if BinomialStdErr(0.5, 0) != 0 {
+		t.Error("zero shots should give zero stderr")
+	}
+}

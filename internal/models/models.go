@@ -1,0 +1,313 @@
+// Package models builds the application circuits the paper benchmarks:
+// Ramsey characterization circuits (Fig. 3), the Floquet Ising chain
+// (Fig. 6), the Trotterized Heisenberg ring (Fig. 7), the layer-fidelity
+// benchmark layer (Fig. 8), the dynamic-circuit Bell preparation (Fig. 9),
+// and the combined-strategy Floquet circuit (Fig. 10).
+package models
+
+import (
+	"math"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/gates"
+)
+
+// idleLayer appends a two-qubit layer containing only explicit delays of
+// duration tau on the given qubits (the Ramsey idle periods of Fig. 3).
+func idleLayer(c *circuit.Circuit, tau float64, qubits ...int) {
+	l := c.AddLayer(circuit.TwoQubitLayer)
+	for _, q := range qubits {
+		l.Add(circuit.Instruction{Gate: gates.Delay, Qubits: []int{q}, Params: []float64{tau}})
+	}
+}
+
+// RamseyCase identifies the four contexts of paper Fig. 3.
+type RamseyCase int
+
+// The four characterization contexts.
+const (
+	// CaseIdlePair: two adjacent idle qubits (Fig. 3c).
+	CaseIdlePair RamseyCase = iota
+	// CaseControlSpectator: spectator adjacent to an ECR control (Fig. 3d).
+	CaseControlSpectator
+	// CaseTargetSpectator: spectator adjacent to an ECR target (Fig. 3e).
+	CaseTargetSpectator
+	// CaseControlControl: two parallel ECRs with adjacent controls
+	// (Fig. 3f).
+	CaseControlControl
+)
+
+func (rc RamseyCase) String() string {
+	switch rc {
+	case CaseIdlePair:
+		return "case I (idle pair)"
+	case CaseControlSpectator:
+		return "case II (control spectator)"
+	case CaseTargetSpectator:
+		return "case III (target spectator)"
+	case CaseControlControl:
+		return "case IV (adjacent controls)"
+	}
+	return "unknown case"
+}
+
+// RamseySpec describes a built Ramsey circuit: which qubits were prepared in
+// |+> and must return there.
+type RamseySpec struct {
+	Circuit *circuit.Circuit
+	Probes  []int
+}
+
+// RamseyDevice returns a device suited to the given case along with the
+// probe and gate qubits. Cases I-III use a 4-qubit line; case IV uses the
+// adjacent-control line built with custom ECR directions.
+func RamseyDevice(rc RamseyCase, opts device.Options) *device.Device {
+	switch rc {
+	case CaseControlControl:
+		edges := []device.Directed{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+		return device.NewSynthetic("ramsey-iv", 4, edges, nil, opts)
+	default:
+		return device.NewLine("ramsey", 4, opts)
+	}
+}
+
+// BuildRamsey builds the depth-d Ramsey circuit for a case: probes prepared
+// in |+>, d repetitions of the case's context layer, then (implicitly) a
+// final measurement of <X> on the probes by the harness.
+//
+// Layouts on the 4-qubit line (edges 0-1, 1-2, 2-3; ECR directions
+// 0->1, 2->1, 2->3):
+//
+//	case I:   probes 0,1 idle; nothing else scheduled.
+//	case II:  ECR(2,1): control 2 adjacent to probe 3.
+//	case III: ECR(2,1): target 1 adjacent to probe 0.
+//	case IV:  ECR(1,0) and ECR(2,3) with controls 1,2 adjacent; probes 1,2
+//	          are the gate controls themselves, measured via the idle
+//	          neighbors 0,3... (case IV probes the control-control ZZ, so
+//	          the probe pair is (1,2) prepared in |+> before the gates).
+func BuildRamsey(rc RamseyCase, d int, tau float64) RamseySpec {
+	c := circuit.New(4, 0)
+	switch rc {
+	case CaseIdlePair:
+		c.AddLayer(circuit.OneQubitLayer).H(0).H(1)
+		for i := 0; i < d; i++ {
+			idleLayer(c, tau, 0, 1)
+		}
+		return RamseySpec{Circuit: c, Probes: []int{0, 1}}
+	case CaseControlSpectator:
+		// ECR(2,1): control 2; probe 3 is the control spectator.
+		c.AddLayer(circuit.OneQubitLayer).H(3)
+		for i := 0; i < d; i++ {
+			c.AddLayer(circuit.TwoQubitLayer).ECR(2, 1)
+		}
+		return RamseySpec{Circuit: c, Probes: []int{3}}
+	case CaseTargetSpectator:
+		// ECR(2,1): target 1; probe 0 is the target spectator.
+		c.AddLayer(circuit.OneQubitLayer).H(0)
+		for i := 0; i < d; i++ {
+			c.AddLayer(circuit.TwoQubitLayer).ECR(2, 1)
+		}
+		return RamseySpec{Circuit: c, Probes: []int{0}}
+	case CaseControlControl:
+		// Parallel ECR(1,0), ECR(2,3) with adjacent controls 1 and 2. The
+		// correlated error acts on the controls; we probe them directly by
+		// preparing |+> and uncomputing the gates (each ECR is an
+		// involution, so two applications per step restore the logic).
+		c.AddLayer(circuit.OneQubitLayer).H(1).H(2)
+		for i := 0; i < d; i++ {
+			l := c.AddLayer(circuit.TwoQubitLayer)
+			l.ECR(1, 0)
+			l.ECR(2, 3)
+			l2 := c.AddLayer(circuit.TwoQubitLayer)
+			l2.ECR(1, 0)
+			l2.ECR(2, 3)
+		}
+		return RamseySpec{Circuit: c, Probes: []int{1, 2}}
+	}
+	panic("models: unknown Ramsey case")
+}
+
+// BuildFloquetIsing builds the paper's Fig. 6 circuit on n qubits: per
+// Floquet step, a layer of Clifford-point ZZ interactions Rzz(pi/2) on
+// even-odd pairs, a layer on odd-even pairs, and a layer of X gates.
+// (The paper writes the two-qubit layers as ECR; Rzz(pi/2) is the
+// locally-equivalent diagonal Clifford form of the Ising-ZZ step and keeps
+// the same echoed-CR pulse context in the simulator.) Boundary qubits are
+// prepared in |+>; with the X layer covering qubits 1..n-1, the boundary
+// correlator <X_0 X_{n-1}> ideally oscillates between +1 and -1 on
+// alternating even steps, as in the paper.
+func BuildFloquetIsing(n, steps int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	c.AddLayer(circuit.OneQubitLayer).H(0).H(n - 1)
+	for s := 0; s < steps; s++ {
+		even := c.AddLayer(circuit.TwoQubitLayer)
+		for q := 0; q+1 < n; q += 2 {
+			even.RZZ(q, q+1, math.Pi/2)
+		}
+		odd := c.AddLayer(circuit.TwoQubitLayer)
+		for q := 1; q+1 < n; q += 2 {
+			odd.RZZ(q, q+1, math.Pi/2)
+		}
+		xl := c.AddLayer(circuit.OneQubitLayer)
+		for q := 1; q < n; q++ {
+			xl.X(q)
+		}
+	}
+	return c
+}
+
+// HeisenbergParams hold the model couplings and Trotter step.
+type HeisenbergParams struct {
+	Jx, Jy, Jz float64 // coupling constants (paper Eq. 7)
+	Dt         float64 // Trotter step
+}
+
+// DefaultHeisenberg uses an isotropic antiferromagnet-like setting with a
+// step giving clearly visible dynamics within a few steps.
+func DefaultHeisenberg() HeisenbergParams {
+	return HeisenbergParams{Jx: 1, Jy: 1, Jz: 1, Dt: 0.45}
+}
+
+// BuildHeisenbergRing builds the first-order Trotterized Heisenberg ring
+// evolution on n qubits (n a multiple of 6), paper Fig. 7: three colored
+// layers of canonical gates Ucan(alpha, beta, gamma) per step with
+// alpha = -Jx dt / 2 etc. The edge coloring follows the paper's heavy-hex
+// embedding, which needs three layers and — crucially — leaves *adjacent*
+// pairs of qubits jointly idle in two of the three layers (the paper's
+// example: the idling period on Q4, Q5 whose ZZ is absorbed into the
+// neighboring Heisenberg interaction). Per period of six qubits 6k..6k+5:
+//
+//	layer 1: (6k, 6k+1), (6k+2, 6k+3)     -> idle pair (6k+4, 6k+5)
+//	layer 2: (6k+4, 6k+5), (6k+1, 6k+2)   -> isolated idles
+//	layer 3: (6k+3, 6k+4), (6k+5, 6k+6)   -> idle pair (6k+1, 6k+2)
+//
+// One excitation (X on qubit 0) makes <Z_2> dynamics nontrivial.
+func BuildHeisenbergRing(n, steps int, p HeisenbergParams) *circuit.Circuit {
+	if n%6 != 0 {
+		panic("models: Heisenberg ring size must be a multiple of 6")
+	}
+	c := circuit.New(n, 0)
+	c.AddLayer(circuit.OneQubitLayer).X(0)
+	alpha := -p.Jx * p.Dt / 2
+	beta := -p.Jy * p.Dt / 2
+	gamma := -p.Jz * p.Dt / 2
+	layerEdges := func(layer int) [][2]int {
+		var out [][2]int
+		for k := 0; k < n/6; k++ {
+			b := 6 * k
+			switch layer {
+			case 0:
+				out = append(out, [2]int{b, b + 1}, [2]int{b + 2, b + 3})
+			case 1:
+				out = append(out, [2]int{b + 4, b + 5}, [2]int{b + 1, b + 2})
+			default:
+				out = append(out, [2]int{b + 3, b + 4}, [2]int{b + 5, (b + 6) % n})
+			}
+		}
+		return out
+	}
+	for s := 0; s < steps; s++ {
+		for layer := 0; layer < 3; layer++ {
+			l := c.AddLayer(circuit.TwoQubitLayer)
+			for _, e := range layerEdges(layer) {
+				l.Ucan(e[0], e[1], alpha, beta, gamma)
+			}
+		}
+	}
+	return c
+}
+
+// BuildDynamicBell builds the paper's Fig. 9 dynamic circuit on a 3-qubit
+// chain aux(0) - dataM(1) - dataB(2): a GHZ state is prepared, the
+// auxiliary is measured in the X basis mid-circuit, and a feed-forward
+// correction conditioned on the outcome leaves a Bell pair on the coupled
+// data qubits. During the long measurement + feed-forward window the data
+// pair accumulates a large unconditional ZZ error (the paper's dominant
+// effect, bare fidelity 9.5%) and dataM additionally picks up a
+// measurement-outcome-conditioned Z from its coupling to the collapsed aux
+// — the "additional Z rotation on the middle qubit" of paper Fig. 9b.
+// The pair is finally disentangled (CX + H) so the Bell fidelity is
+// P(data = 00). ffTime is the controller's true feed-forward latency.
+//
+// The paper's conditional correction is an X in its gate convention; in
+// this GHZ/X-basis construction the logically equivalent correction is a
+// conditional Z (applied as a conditional virtual Rz(pi), still subject to
+// the same feed-forward wait, which is modeled by explicit delays).
+//
+// Classical bits: c0 = aux outcome, c1 = dataM, c2 = dataB.
+func BuildDynamicBell(ffTime float64) *circuit.Circuit {
+	c := circuit.New(3, 3)
+	c.AddLayer(circuit.OneQubitLayer).H(1)
+	c.AddLayer(circuit.TwoQubitLayer).CX(1, 0)
+	c.AddLayer(circuit.TwoQubitLayer).CX(1, 2)
+	c.AddLayer(circuit.OneQubitLayer).H(0) // X-basis measurement of the aux
+	c.AddLayer(circuit.MeasureLayer).Measure(0, 0)
+	// Feed-forward window: the data qubits idle for ffTime until the
+	// conditional frame correction lands.
+	ff := c.AddLayer(circuit.OneQubitLayer)
+	for q := 0; q < 3; q++ {
+		ff.Add(circuit.Instruction{Gate: gates.Delay, Qubits: []int{q}, Params: []float64{ffTime}})
+	}
+	ff.Add(circuit.Instruction{
+		Gate:   gates.RZ,
+		Qubits: []int{1},
+		Params: []float64{3.141592653589793},
+		Cond:   &circuit.Condition{Bit: 0, Value: 1},
+		Time:   ffTime,
+	})
+	// Bell verification: CX(1,2) + H(1) maps Phi+ to |00>.
+	c.AddLayer(circuit.TwoQubitLayer).CX(1, 2)
+	c.AddLayer(circuit.OneQubitLayer).H(1)
+	c.AddLayer(circuit.MeasureLayer).Measure(1, 1).Measure(2, 2)
+	return c
+}
+
+// LayerFidelityLayer returns the benchmark layer of paper Fig. 8 on the
+// 10-qubit layer-fidelity device: three ECR gates — ECR(1,0) [37->52],
+// ECR(2,3) [38->39], ECR(7,6) [58->57] — leaving idle qubits 4 (40),
+// 5 (56), 8 (59), 9 (60), with the adjacent-control pair (1,2) = (37,38)
+// and the adjacent idle pair (8,9) = (59,60).
+func LayerFidelityLayer() *circuit.Layer {
+	l := &circuit.Layer{Kind: circuit.TwoQubitLayer}
+	l.ECR(1, 0)
+	l.ECR(2, 3)
+	l.ECR(7, 6)
+	return l
+}
+
+// BuildCombinedFloquet builds the Fig. 10 benchmark on a 6-qubit line with
+// adjacent controls 1 and 2 (device from CombinedDevice): per step, two
+// identical layers of {ECR(1,0), ECR(2,3)} (idling 4,5 — the DD target;
+// the adjacent controls are the EC target) followed by two identical layers
+// of {ECR(5,4)} (idling the 0-3 chain). Each gate layer pair composes to
+// the identity, so P00 on the probe pair (1,2) — prepared and unprepared
+// with H — ideally stays 1 at every depth.
+func BuildCombinedFloquet(steps int) *circuit.Circuit {
+	c := circuit.New(6, 2)
+	c.AddLayer(circuit.OneQubitLayer).H(1).H(2)
+	for s := 0; s < steps; s++ {
+		for rep := 0; rep < 2; rep++ {
+			l := c.AddLayer(circuit.TwoQubitLayer)
+			l.ECR(1, 0)
+			l.ECR(2, 3)
+		}
+		for rep := 0; rep < 2; rep++ {
+			l := c.AddLayer(circuit.TwoQubitLayer)
+			l.ECR(5, 4)
+		}
+	}
+	c.AddLayer(circuit.OneQubitLayer).H(1).H(2)
+	c.AddLayer(circuit.MeasureLayer).Measure(1, 0).Measure(2, 1)
+	return c
+}
+
+// CombinedDevice builds the 6-qubit device for Fig. 10 (adjacent controls
+// on qubits 1, 2; an extra gate pair on 4, 5).
+func CombinedDevice(opts device.Options) *device.Device {
+	edges := []device.Directed{
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3},
+		{Src: 3, Dst: 4}, {Src: 5, Dst: 4},
+	}
+	return device.NewSynthetic("combined6", 6, edges, nil, opts)
+}

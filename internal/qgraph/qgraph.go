@@ -1,0 +1,231 @@
+// Package qgraph provides the small undirected-graph toolkit used to build
+// device crosstalk graphs and to solve the constrained coloring problem at
+// the heart of the CA-DD pass (paper Algorithm 1 / Fig. 5): idle qubits must
+// receive colors (Walsh sequence indices) such that no two crosstalk-coupled
+// qubits share a color, subject to pre-assigned colors on gate qubits.
+package qgraph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an undirected graph on nodes 0..N-1 with an adjacency set.
+type Graph struct {
+	N   int
+	adj []map[int]bool
+}
+
+// New returns an empty graph on n nodes.
+func New(n int) *Graph {
+	g := &Graph{N: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// AddEdge inserts the undirected edge (a, b). Self-loops are rejected.
+func (g *Graph) AddEdge(a, b int) {
+	if a == b {
+		panic(fmt.Sprintf("qgraph: self-loop on node %d", a))
+	}
+	if a < 0 || a >= g.N || b < 0 || b >= g.N {
+		panic(fmt.Sprintf("qgraph: edge (%d,%d) out of range [0,%d)", a, b, g.N))
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// HasEdge reports whether (a, b) is an edge.
+func (g *Graph) HasEdge(a, b int) bool {
+	if a < 0 || a >= g.N || b < 0 || b >= g.N {
+		return false
+	}
+	return g.adj[a][b]
+}
+
+// Neighbors returns the sorted neighbor list of node a.
+func (g *Graph) Neighbors(a int) []int {
+	out := make([]int, 0, len(g.adj[a]))
+	for b := range g.adj[a] {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Degree returns the number of neighbors of a.
+func (g *Graph) Degree(a int) int { return len(g.adj[a]) }
+
+// Edges returns all edges (a < b), sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for a := 0; a < g.N; a++ {
+		for b := range g.adj[a] {
+			if a < b {
+				out = append(out, [2]int{a, b})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// IsBipartite reports whether the graph is 2-colorable.
+func (g *Graph) IsBipartite() bool {
+	color := make([]int, g.N)
+	for i := range color {
+		color[i] = -1
+	}
+	for s := 0; s < g.N; s++ {
+		if color[s] != -1 {
+			continue
+		}
+		color[s] = 0
+		queue := []int{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := range g.adj[u] {
+				if color[v] == -1 {
+					color[v] = 1 - color[u]
+					queue = append(queue, v)
+				} else if color[v] == color[u] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Components returns the connected components, each as a sorted node list,
+// ordered by smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.N)
+	var comps [][]int
+	for s := 0; s < g.N; s++ {
+		if seen[s] {
+			continue
+		}
+		var comp []int
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			comp = append(comp, u)
+			for v := range g.adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Subgraph returns the induced subgraph on the given nodes, along with the
+// mapping from new node index to original node id.
+func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
+	idx := make(map[int]int, len(nodes))
+	order := append([]int(nil), nodes...)
+	sort.Ints(order)
+	for i, n := range order {
+		idx[n] = i
+	}
+	s := New(len(order))
+	for i, n := range order {
+		for b := range g.adj[n] {
+			if j, ok := idx[b]; ok && i < j {
+				s.AddEdge(i, j)
+			}
+		}
+	}
+	return s, order
+}
+
+// Coloring maps node -> color index (>= 0); nodes absent from the map are
+// uncolored.
+type Coloring map[int]int
+
+// GreedyColor colors the nodes in `order` subject to: (a) pre-assigned
+// colors in `fixed` must be respected and are never changed; (b) adjacent
+// nodes (in g) never share a color; (c) colors listed in forbidden[node]
+// must not be used for that node. It prefers the smallest admissible color
+// (minimizing the Walsh hierarchy level, per the paper's heuristic) and
+// returns the resulting coloring over order plus all fixed nodes.
+func GreedyColor(g *Graph, order []int, fixed Coloring, forbidden map[int][]int) Coloring {
+	c := Coloring{}
+	for n, col := range fixed {
+		c[n] = col
+	}
+	for _, n := range order {
+		if _, done := c[n]; done {
+			continue
+		}
+		used := map[int]bool{}
+		for b := range g.adj[n] {
+			if col, ok := c[b]; ok {
+				used[col] = true
+			}
+		}
+		for _, col := range forbidden[n] {
+			used[col] = true
+		}
+		col := 0
+		for used[col] {
+			col++
+		}
+		c[n] = col
+	}
+	return c
+}
+
+// ValidateColoring checks that no edge of g connects same-colored nodes
+// among the colored nodes, returning the first violating edge if any.
+func ValidateColoring(g *Graph, c Coloring) (ok bool, bad [2]int) {
+	for _, e := range g.Edges() {
+		ca, aok := c[e[0]]
+		cb, bok := c[e[1]]
+		if aok && bok && ca == cb {
+			return false, e
+		}
+	}
+	return true, [2]int{-1, -1}
+}
+
+// MaxColor returns the largest color index used, or -1 for an empty
+// coloring.
+func (c Coloring) MaxColor() int {
+	m := -1
+	for _, col := range c {
+		if col > m {
+			m = col
+		}
+	}
+	return m
+}
+
+// DegreeOrder returns nodes sorted by decreasing degree (a common greedy
+// coloring heuristic), restricted to the provided subset.
+func DegreeOrder(g *Graph, subset []int) []int {
+	out := append([]int(nil), subset...)
+	sort.Slice(out, func(i, j int) bool {
+		di, dj := g.Degree(out[i]), g.Degree(out[j])
+		if di != dj {
+			return di > dj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

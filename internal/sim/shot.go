@@ -1,0 +1,417 @@
+package sim
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"casq/internal/linalg"
+)
+
+// shot holds per-trajectory state: the statevector, classical bits, the
+// diagonal coherent-phase accumulator, and the per-shot random frequency
+// offsets (charge parity, quasi-static detuning).
+type shot struct {
+	r   *Runner
+	cp  *compiled
+	rng *rand.Rand
+
+	psi   linalg.Vector
+	cbits []int
+
+	phiZ  []float64 // pending Rz angle per qubit
+	phiZZ []float64 // pending Rzz angle per edge index
+
+	omegaExtra []float64 // rad/ns per qubit: parity + quasistatic
+}
+
+func (r *Runner) newShot(cp *compiled, seed int64) *shot {
+	s := &shot{
+		r:          r,
+		cp:         cp,
+		rng:        rand.New(rand.NewSource(seed)),
+		psi:        linalg.NewVector(cp.nq),
+		cbits:      make([]int, cp.ncb),
+		phiZ:       make([]float64, cp.nq),
+		phiZZ:      make([]float64, len(cp.edges)),
+		omegaExtra: make([]float64, cp.nq),
+	}
+	for q := 0; q < cp.nq; q++ {
+		w := 0.0
+		if r.Cfg.EnableParity {
+			eps := 1.0
+			if s.rng.Intn(2) == 1 {
+				eps = -1
+			}
+			w += eps * r.Dev.Delta[q] * hzToRadPerNs
+		}
+		if r.Cfg.EnableQuasistatic && q < len(r.Dev.Quasistatic) {
+			w += s.rng.NormFloat64() * r.Dev.Quasistatic[q] * hzToRadPerNs
+		}
+		s.omegaExtra[q] = w
+	}
+	return s
+}
+
+// forEachShot runs fn for every shot index, parallelized over workers, with
+// deterministic per-shot seeding independent of scheduling.
+func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
+	shots := r.Cfg.Shots
+	if shots <= 0 {
+		shots = 1
+	}
+	workers := r.Cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > shots {
+		workers = shots
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, shots)
+	for i := 0; i < shots; i++ {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				s := r.newShot(cp, r.Cfg.Seed*1000003+int64(i)*7919+13)
+				fn(i, s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// run executes every layer of the compiled circuit.
+func (s *shot) run(cp *compiled) {
+	for li := range cp.layers {
+		s.runLayer(&cp.layers[li])
+	}
+}
+
+func (s *shot) runLayer(l *layerExec) {
+	cur := l.start
+	for i := range l.events {
+		ev := &l.events[i]
+		s.accumulate(l, cur, ev.t)
+		cur = ev.t
+		s.exec(l, ev)
+	}
+	s.accumulate(l, cur, l.start+l.dur)
+	if s.r.Cfg.EnableT1T2 && l.dur > 0 {
+		s.applyRelaxation(l.dur)
+	}
+}
+
+func (s *shot) exec(l *layerExec, ev *event) {
+	if ev.in != nil && ev.in.Cond != nil {
+		c := ev.in.Cond
+		if s.cbits[c.Bit] != c.Value {
+			return
+		}
+	}
+	switch ev.kind {
+	case opVirtualZ:
+		s.phiZ[ev.q0] += ev.angle
+	case opDiagRZZ:
+		s.phiZZ[ev.edge] += ev.angle
+		// Rzz(theta) = exp(-i theta/2 ZZ) carries no single-qubit part.
+	case opPauliX:
+		s.flipAccumulator(ev.q0)
+		s.psi.Apply1Q(ev.mat, ev.q0)
+		if ev.errProb > 0 {
+			s.depolarize1Q(ev.q0, ev.errProb)
+		}
+	case opEchoFlip:
+		s.flipAccumulator(ev.q0)
+	case opApply1Q:
+		s.flushQubit(ev.q0)
+		s.psi.Apply1Q(ev.mat, ev.q0)
+		if ev.errProb > 0 {
+			s.depolarize1Q(ev.q0, ev.errProb)
+		}
+	case opApply2Q:
+		s.flushQubit(ev.q0)
+		s.flushQubit(ev.q1)
+		// Gate matrices use the |first operand, second operand> basis, so
+		// the first operand is the high bit of the 4x4 index.
+		s.psi.Apply2Q(ev.mat, ev.q0, ev.q1)
+	case opGateErr1Q:
+		s.depolarize1Q(ev.q0, ev.errProb)
+	case opGateErr2Q:
+		s.depolarize2Q(ev.q0, ev.q1, ev.errProb)
+	case opMeasure:
+		s.measure(ev.q0, ev.in.CBit)
+	}
+}
+
+// accumulate integrates the coherent crosstalk Hamiltonian over [from, to]
+// within the layer's context into the pending phase accumulator.
+func (s *shot) accumulate(l *layerExec, from, to float64) {
+	dt := to - from
+	if dt <= 0 {
+		return
+	}
+	cfg := &s.r.Cfg
+	res := s.r.Dev.RotaryResidual
+	if cfg.EnableZZ {
+		for i, e := range s.cp.edges {
+			w := s.cp.omega[i]
+			if w == 0 || l.gatePair[i] {
+				continue
+			}
+			fa, fb := 1.0, 1.0
+			if l.rotary[e.A] {
+				fa = res
+			}
+			if l.rotary[e.B] {
+				fb = res
+			}
+			s.phiZZ[i] += w * dt * fa * fb
+			s.phiZ[e.A] -= w * dt * fa
+			s.phiZ[e.B] -= w * dt * fb
+		}
+	}
+	if cfg.EnableStark {
+		for _, st := range s.cp.starks {
+			if !l.driven[st.src] || l.active[st.dst] {
+				continue
+			}
+			f := 1.0
+			if l.rotary[st.dst] {
+				f = res
+			}
+			s.phiZ[st.dst] += st.w * dt * f
+		}
+	}
+	if cfg.EnableParity || cfg.EnableQuasistatic {
+		for q := 0; q < s.cp.nq; q++ {
+			w := s.omegaExtra[q]
+			if w == 0 {
+				continue
+			}
+			if l.rotary[q] {
+				w *= res
+			}
+			s.phiZ[q] += w * dt
+		}
+	}
+}
+
+// flipAccumulator conjugates the pending diagonal phases on q through an X
+// (or Y) pulse: Z_q -> -Z_q.
+func (s *shot) flipAccumulator(q int) {
+	s.phiZ[q] = -s.phiZ[q]
+	for _, ei := range s.cp.qEdges[q] {
+		s.phiZZ[ei] = -s.phiZZ[ei]
+	}
+}
+
+// flushQubit applies (and clears) every pending phase term involving q.
+func (s *shot) flushQubit(q int) {
+	var zTerms []int
+	var zAngles []float64
+	if s.phiZ[q] != 0 {
+		zTerms = append(zTerms, 1<<q)
+		zAngles = append(zAngles, s.phiZ[q])
+		s.phiZ[q] = 0
+	}
+	var zzMasksA, zzMasksB []int
+	var zzAngles []float64
+	for _, ei := range s.cp.qEdges[q] {
+		if s.phiZZ[ei] != 0 {
+			e := s.cp.edges[ei]
+			zzMasksA = append(zzMasksA, 1<<e.A)
+			zzMasksB = append(zzMasksB, 1<<e.B)
+			zzAngles = append(zzAngles, s.phiZZ[ei])
+			s.phiZZ[ei] = 0
+		}
+	}
+	if len(zTerms) == 0 && len(zzAngles) == 0 {
+		return
+	}
+	s.applyDiagonal(zTerms, zAngles, zzMasksA, zzMasksB, zzAngles)
+}
+
+// flushAll applies and clears the entire accumulator.
+func (s *shot) flushAll() {
+	var zTerms []int
+	var zAngles []float64
+	for q := 0; q < s.cp.nq; q++ {
+		if s.phiZ[q] != 0 {
+			zTerms = append(zTerms, 1<<q)
+			zAngles = append(zAngles, s.phiZ[q])
+			s.phiZ[q] = 0
+		}
+	}
+	var zzMasksA, zzMasksB []int
+	var zzAngles []float64
+	for ei, phi := range s.phiZZ {
+		if phi != 0 {
+			e := s.cp.edges[ei]
+			zzMasksA = append(zzMasksA, 1<<e.A)
+			zzMasksB = append(zzMasksB, 1<<e.B)
+			zzAngles = append(zzAngles, phi)
+			s.phiZZ[ei] = 0
+		}
+	}
+	if len(zTerms) == 0 && len(zzAngles) == 0 {
+		return
+	}
+	s.applyDiagonal(zTerms, zAngles, zzMasksA, zzMasksB, zzAngles)
+}
+
+// applyDiagonal multiplies each amplitude by exp(-i/2 * sum of z-weighted
+// angles), the diagonal unitary of the accumulated Rz/Rzz terms.
+func (s *shot) applyDiagonal(zMasks []int, zAngles []float64, zzA, zzB []int, zzAngles []float64) {
+	n := len(s.psi)
+	for b := 0; b < n; b++ {
+		phase := 0.0
+		for i, m := range zMasks {
+			if b&m == 0 {
+				phase += zAngles[i]
+			} else {
+				phase -= zAngles[i]
+			}
+		}
+		for i := range zzAngles {
+			za := b&zzA[i] == 0
+			zb := b&zzB[i] == 0
+			if za == zb {
+				phase += zzAngles[i]
+			} else {
+				phase -= zzAngles[i]
+			}
+		}
+		if phase != 0 {
+			s.psi[b] *= cmplx.Exp(complex(0, -phase/2))
+		}
+	}
+}
+
+// depolarize1Q applies a uniform non-identity Pauli with probability p.
+func (s *shot) depolarize1Q(q int, p float64) {
+	if !s.r.Cfg.EnableGateErr || p <= 0 || s.rng.Float64() >= p {
+		return
+	}
+	s.applyRandomPauli(q)
+}
+
+func (s *shot) applyRandomPauli(q int) {
+	switch s.rng.Intn(3) {
+	case 0: // X
+		s.flipAccumulator(q)
+		s.psi.Apply1Q(xMat, q)
+	case 1: // Y
+		s.flipAccumulator(q)
+		s.psi.Apply1Q(yMat, q)
+	default: // Z
+		s.phiZ[q] += math.Pi
+	}
+}
+
+// depolarize2Q applies a uniform non-identity two-qubit Pauli with
+// probability p.
+func (s *shot) depolarize2Q(q0, q1 int, p float64) {
+	if !s.r.Cfg.EnableGateErr || p <= 0 || s.rng.Float64() >= p {
+		return
+	}
+	k := 1 + s.rng.Intn(15) // 1..15, base-4 digits (p0, p1)
+	p0, p1 := k%4, k/4
+	apply := func(q, pk int) {
+		switch pk {
+		case 1:
+			s.flipAccumulator(q)
+			s.psi.Apply1Q(xMat, q)
+		case 2:
+			s.flipAccumulator(q)
+			s.psi.Apply1Q(yMat, q)
+		case 3:
+			s.phiZ[q] += math.Pi
+		}
+	}
+	apply(q0, p0)
+	apply(q1, p1)
+}
+
+// applyRelaxation applies T1 amplitude damping (trajectory unraveling) and
+// pure dephasing for a duration dur (ns) on every qubit.
+func (s *shot) applyRelaxation(dur float64) {
+	for q := 0; q < s.cp.nq; q++ {
+		t1 := s.r.Dev.T1[q]
+		t2 := s.r.Dev.T2[q]
+		if t1 > 0 {
+			gamma := 1 - math.Exp(-dur/t1)
+			p1 := s.psi.Prob(q, 1)
+			if pj := gamma * p1; pj > 0 && s.rng.Float64() < pj {
+				// Quantum jump: |1> -> |0>.
+				s.flushAll()
+				s.jumpDown(q)
+			} else if gamma > 0 {
+				// No-jump back-action: K0 = diag(1, sqrt(1-gamma)).
+				s.damp(q, math.Sqrt(1-gamma))
+			}
+		}
+		if t2 > 0 {
+			// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
+			invTphi := 1/t2 - 1/(2*t1)
+			if invTphi > 0 {
+				p := (1 - math.Exp(-dur*invTphi)) / 2
+				if s.rng.Float64() < p {
+					s.phiZ[q] += math.Pi
+				}
+			}
+		}
+	}
+}
+
+func (s *shot) jumpDown(q int) {
+	bit := 1 << q
+	for b := range s.psi {
+		if b&bit == 0 {
+			s.psi[b] = s.psi[b|bit]
+		} else {
+			s.psi[b] = 0
+		}
+	}
+	s.psi.Normalize()
+}
+
+func (s *shot) damp(q int, k float64) {
+	bit := 1 << q
+	for b := range s.psi {
+		if b&bit != 0 {
+			s.psi[b] *= complex(k, 0)
+		}
+	}
+	s.psi.Normalize()
+}
+
+// measure projects qubit q, storing the (readout-error-corrupted) outcome in
+// classical bit cbit. The collapse itself uses the true outcome.
+func (s *shot) measure(q, cbit int) {
+	p1 := s.psi.Prob(q, 1)
+	bit := 0
+	if s.rng.Float64() < p1 {
+		bit = 1
+	}
+	s.psi.Collapse(q, bit)
+	recorded := bit
+	if s.r.Cfg.EnableReadoutErr && s.rng.Float64() < s.r.Dev.ReadoutErr[q] {
+		recorded = 1 - recorded
+	}
+	if cbit >= 0 && cbit < len(s.cbits) {
+		s.cbits[cbit] = recorded
+	}
+}
+
+var (
+	xMat = linalg.FromRows([][]complex128{{0, 1}, {1, 0}})
+	yMat = linalg.FromRows([][]complex128{{0, -1i}, {1i, 0}})
+)

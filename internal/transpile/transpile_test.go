@@ -1,0 +1,154 @@
+package transpile
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/gates"
+	"casq/internal/linalg"
+	"casq/internal/sched"
+	"casq/internal/sim"
+)
+
+// composeOnState applies a gate sequence to a 2-qubit statevector with
+// qubit 0 as the low bit.
+func composeOnState(seq []GateSpec, psi linalg.Vector) {
+	for _, g := range seq {
+		if gates.NumQubits(g.Gate) == 2 {
+			m := gates.Matrix2Q(g.Gate, g.Params...)
+			psi.Apply2Q(m, g.Qubits[0], g.Qubits[1])
+		} else {
+			m := gates.Matrix1Q(g.Gate, g.Params...)
+			psi.Apply1Q(m, g.Qubits[0])
+		}
+	}
+}
+
+// matrixOf builds the full 4x4 matrix of a sequence by applying it to basis
+// states (qubit0 = low bit).
+func matrixOf(seq []GateSpec) linalg.Matrix {
+	m := linalg.NewMatrix(4)
+	for b := 0; b < 4; b++ {
+		psi := make(linalg.Vector, 4)
+		psi[b] = 1
+		composeOnState(seq, psi)
+		for i := 0; i < 4; i++ {
+			m.Set(i, b, psi[i])
+		}
+	}
+	return m
+}
+
+// refMatrix builds the reference matrix of a 2q gate on qubits (0,1) in the
+// same low-bit basis.
+func refMatrix(k gates.Kind, q0, q1 int, params ...float64) linalg.Matrix {
+	m := linalg.NewMatrix(4)
+	for b := 0; b < 4; b++ {
+		psi := make(linalg.Vector, 4)
+		psi[b] = 1
+		psi.Apply2Q(gates.Matrix2Q(k, params...), q0, q1)
+		for i := 0; i < 4; i++ {
+			m.Set(i, b, psi[i])
+		}
+	}
+	return m
+}
+
+func TestCNOTViaECR(t *testing.T) {
+	got := matrixOf(CNOTViaECR(0, 1))
+	want := refMatrix(gates.CX, 0, 1)
+	if !linalg.EqualUpToPhase(got, want, 1e-9) {
+		t.Errorf("CNOT dressing wrong:\n%v\nvs\n%v", got, want)
+	}
+	// Reversed operands too.
+	got = matrixOf(CNOTViaECR(1, 0))
+	want = refMatrix(gates.CX, 1, 0)
+	if !linalg.EqualUpToPhase(got, want, 1e-9) {
+		t.Error("CNOT dressing wrong for reversed operands")
+	}
+}
+
+func TestUcanVia3CNOT(t *testing.T) {
+	cases := [][3]float64{
+		{0.3, -0.2, 0.7},
+		{0, 0, 0},
+		{math.Pi / 4, math.Pi / 4, math.Pi / 4},
+		{-0.225, -0.225, -0.225}, // the Heisenberg step angles
+		{1.1, 0.05, -0.9},
+	}
+	for _, c := range cases {
+		got := matrixOf(UcanVia3CNOT(0, 1, c[0], c[1], c[2]))
+		want := refMatrix(gates.Ucan, 0, 1, c[0], c[1], c[2])
+		if !linalg.EqualUpToPhase(got, want, 1e-9) {
+			t.Errorf("Ucan(%v) decomposition wrong", c)
+		}
+	}
+}
+
+func TestUcanVia3CNOTProperty(t *testing.T) {
+	f := func(ai, bi, ci int16) bool {
+		a := float64(ai) / 20000 * math.Pi
+		b := float64(bi) / 20000 * math.Pi
+		c := float64(ci) / 20000 * math.Pi
+		got := matrixOf(UcanVia3CNOT(0, 1, a, b, c))
+		want := refMatrix(gates.Ucan, 0, 1, a, b, c)
+		return linalg.EqualUpToPhase(got, want, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowerCircuitPreservesLogic(t *testing.T) {
+	o := device.DefaultOptions()
+	o.DeltaMax, o.QuasistaticSigma = 0, 0
+	o.Err1Q, o.Err2Q, o.ReadoutErr = 0, 0, 0
+	o.T1Min, o.T1Max, o.T2Factor = 1e12, 1e12, 2
+	dev := device.NewLine("lower", 4, o)
+
+	base := circuit.New(4, 0)
+	base.AddLayer(circuit.OneQubitLayer).H(0).H(2)
+	l := base.AddLayer(circuit.TwoQubitLayer)
+	l.CX(0, 1)
+	l.Ucan(2, 3, 0.3, -0.1, 0.4)
+	base.AddLayer(circuit.TwoQubitLayer).ECR(1, 2)
+
+	lowered := LowerCircuit(base)
+	if err := lowered.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if lowered.CountGates(gates.CX) != 0 || lowered.CountGates(gates.Ucan) != 0 {
+		t.Error("lowering left logical gates behind")
+	}
+	if lowered.CountGates(gates.ECR) != 1+1+3 {
+		t.Errorf("expected 5 ECR gates, got %d", lowered.CountGates(gates.ECR))
+	}
+
+	sched.Schedule(base, dev)
+	sched.Schedule(lowered, dev)
+	r := sim.New(dev, sim.Ideal())
+	want, err := r.FinalState(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.FinalState(lowered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := linalg.FidelityPure(got, want); f < 1-1e-9 {
+		t.Errorf("lowered circuit diverges: fidelity %.9f", f)
+	}
+}
+
+func TestLowerCircuitPassThrough(t *testing.T) {
+	base := circuit.New(2, 0)
+	base.AddLayer(circuit.TwoQubitLayer).ECR(0, 1)
+	base.AddLayer(circuit.OneQubitLayer).H(0)
+	lowered := LowerCircuit(base)
+	if lowered.Depth() != base.Depth() {
+		t.Error("pure-native circuit should pass through unchanged")
+	}
+}

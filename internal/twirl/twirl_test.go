@@ -1,0 +1,184 @@
+package twirl
+
+import (
+	"math/rand"
+	"testing"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/gates"
+	"casq/internal/linalg"
+	"casq/internal/pauli"
+	"casq/internal/sched"
+	"casq/internal/sim"
+)
+
+func quietDev(n int) *device.Device {
+	o := device.DefaultOptions()
+	o.DeltaMax, o.QuasistaticSigma = 0, 0
+	o.Err1Q, o.Err2Q, o.ReadoutErr = 0, 0, 0
+	o.T1Min, o.T1Max, o.T2Factor = 1e12, 1e12, 2
+	o.RotaryResidual = 0
+	return device.NewLine("quiet", n, o)
+}
+
+func TestTableForECRAndCX(t *testing.T) {
+	for _, k := range []gates.Kind{gates.ECR, gates.CX} {
+		if _, err := TableFor(k); err != nil {
+			t.Errorf("TableFor(%s): %v", k, err)
+		}
+	}
+	if _, err := TableFor(gates.H); err == nil {
+		t.Error("1q gates must be rejected")
+	}
+}
+
+// buildTestCircuit covers ECR, CX, RZZ and Ucan layers with idles.
+func buildTestCircuit() *circuit.Circuit {
+	c := circuit.New(4, 0)
+	prep := c.AddLayer(circuit.OneQubitLayer)
+	prep.H(0).H(1).H(2).H(3)
+	c.AddLayer(circuit.TwoQubitLayer).ECR(0, 1)
+	c.AddLayer(circuit.TwoQubitLayer).CX(2, 3)
+	c.AddLayer(circuit.TwoQubitLayer).RZZ(1, 2, 0.7)
+	c.AddLayer(circuit.TwoQubitLayer).Ucan(0, 1, 0.2, -0.3, 0.4)
+	return c
+}
+
+func TestInstancePreservesLogic(t *testing.T) {
+	// Noiseless execution of any twirl instance must match the original
+	// circuit's final state up to global phase.
+	dev := quietDev(4)
+	base := buildTestCircuit()
+	sched.Schedule(base, dev)
+	r := sim.New(dev, sim.Ideal())
+	want, err := r.FinalState(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for k := 0; k < 20; k++ {
+		inst, err := Instance(base, GatesOnly, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.Schedule(inst, dev)
+		got, err := r.FinalState(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := linalg.FidelityPure(got, want); f < 1-1e-9 {
+			t.Fatalf("twirl instance %d changed the logic: fidelity %.9f", k, f)
+		}
+	}
+}
+
+func TestInstanceAllQubitsPreservesLogic(t *testing.T) {
+	dev := quietDev(4)
+	base := circuit.New(4, 0)
+	base.AddLayer(circuit.OneQubitLayer).H(0).H(2)
+	base.AddLayer(circuit.TwoQubitLayer).ECR(0, 1) // 2,3 idle -> twirled too
+	sched.Schedule(base, dev)
+	r := sim.New(dev, sim.Ideal())
+	want, err := r.FinalState(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for k := 0; k < 20; k++ {
+		inst, err := Instance(base, AllQubits, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched.Schedule(inst, dev)
+		got, err := r.FinalState(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f := linalg.FidelityPure(got, want); f < 1-1e-9 {
+			t.Fatalf("all-qubit twirl instance %d broke logic: %.9f", k, f)
+		}
+	}
+}
+
+func TestInstanceStructure(t *testing.T) {
+	base := buildTestCircuit()
+	rng := rand.New(rand.NewSource(1))
+	inst, err := Instance(base, GatesOnly, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every 2q layer gains a pre and post twirl layer.
+	twirlLayers := 0
+	for _, l := range inst.Layers {
+		if l.Kind == circuit.TwirlLayer {
+			twirlLayers++
+			for _, in := range l.Instrs {
+				if in.Tag != "twirl" {
+					t.Error("twirl layer instruction missing tag")
+				}
+			}
+		}
+	}
+	if twirlLayers != 8 {
+		t.Errorf("expected 8 twirl layers (4 gates x pre/post), got %d", twirlLayers)
+	}
+}
+
+func TestInstancesCount(t *testing.T) {
+	base := buildTestCircuit()
+	rng := rand.New(rand.NewSource(5))
+	insts, err := Instances(base, GatesOnly, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(insts) != 5 {
+		t.Errorf("got %d instances", len(insts))
+	}
+}
+
+func TestPropagateThroughLayer(t *testing.T) {
+	// Propagating through an ECR layer must match the conjugation of the
+	// full matrix.
+	l := &circuit.Layer{Kind: circuit.TwoQubitLayer}
+	l.ECR(0, 1)
+	in, _ := pauli.ParseString("XZ")
+	out, err := PropagateThroughLayer(l, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := gates.Matrix2Q(gates.ECR)
+	// Build full 2-qubit matrices with qubit0 low bit.
+	lhs := linalg.MulChain(kron2(g), in.Matrix(), linalg.Dagger(kron2(g)))
+	if !linalg.ApproxEqual(lhs, out.Matrix(), 1e-9) {
+		t.Errorf("propagation mismatch: %v -> %v", in, out)
+	}
+}
+
+// kron2 reorders the gate matrix from |first second> (first = high bit of
+// the gate basis, acting on qubit 0) into the simulator's |q1 q0> layout.
+func kron2(g linalg.Matrix) linalg.Matrix {
+	// Gate operands are (q0, q1) = (first, second); state index is q1*2+q0.
+	// Permute basis: gate index b = first*2 + second; state index
+	// s = second*2 + first.
+	p := linalg.NewMatrix(4)
+	for first := 0; first < 2; first++ {
+		for second := 0; second < 2; second++ {
+			p.Set(second*2+first, first*2+second, 1)
+		}
+	}
+	return linalg.MulChain(p, g, linalg.Dagger(p))
+}
+
+func TestPropagateIdleUnchanged(t *testing.T) {
+	l := &circuit.Layer{Kind: circuit.TwoQubitLayer}
+	l.ECR(0, 1)
+	in, _ := pauli.ParseString("IIZ")
+	out, err := PropagateThroughLayer(l, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Ops[2] != pauli.Z || out.Ops[0] != pauli.I {
+		t.Error("idle qubit operator must be unchanged")
+	}
+}
