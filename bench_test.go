@@ -7,6 +7,7 @@
 package casq_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -14,12 +15,13 @@ import (
 	"casq"
 	"casq/internal/caec"
 	"casq/internal/circuit"
-	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/gates"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/sim"
 	"casq/internal/twirl"
@@ -69,10 +71,11 @@ func benchWorkload() (*device.Device, *circuit.Circuit) {
 
 func BenchmarkCompileCADD(b *testing.B) {
 	dev, c := benchWorkload()
-	comp := core.New(dev, core.CADD(), 1)
+	pl := pass.CADD()
+	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := comp.Compile(c); err != nil {
+		if _, _, err := pl.Apply(dev, rng, c); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -80,10 +83,50 @@ func BenchmarkCompileCADD(b *testing.B) {
 
 func BenchmarkCompileCAEC(b *testing.B) {
 	dev, c := benchWorkload()
-	comp := core.New(dev, core.CAEC(), 1)
+	pl := pass.CAEC()
+	rng := rand.New(rand.NewSource(1))
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := comp.Compile(c); err != nil {
+		if _, _, err := pl.Apply(dev, rng, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Executor benchmarks: the same twirl-averaged job run serially (one
+// worker, the pre-redesign execution model) and fanned out across
+// GOMAXPROCS workers. The simulator's own shot-level parallelism is pinned
+// to one thread in both so the comparison isolates instance-level fan-out.
+
+func benchExecutorJob() (*exec.Executor, exec.Job) {
+	dev, c := benchWorkload()
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 96
+	cfg.Workers = 1
+	return exec.New(dev, pass.Combined()), exec.Job{
+		Circuit:     c,
+		Observables: []sim.ObsSpec{{0: 'X', 5: 'X'}},
+		Opts:        exec.RunOptions{Instances: 12, Seed: 3, Cfg: cfg},
+	}
+}
+
+func BenchmarkExecutorSerial(b *testing.B) {
+	ex, job := benchExecutorJob()
+	job.Opts.Workers = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExecutorParallel(b *testing.B) {
+	ex, job := benchExecutorJob()
+	job.Opts.Workers = 0 // GOMAXPROCS
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ex.Run(context.Background(), job); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -274,17 +317,19 @@ func BenchmarkAblationStaggeredVsCA(b *testing.B) {
 	}
 }
 
-// BenchmarkFacadeQuickstart exercises the public API end to end.
+// BenchmarkFacadeQuickstart exercises the public API end to end:
+// pipeline build, executor, and the compat compiler wrapper.
 func BenchmarkFacadeQuickstart(b *testing.B) {
 	dev := casq.NewLineDevice("facade", 4, casq.DefaultDeviceOptions())
 	for i := 0; i < b.N; i++ {
 		c := casq.NewCircuit(4, 0)
 		c.AddLayer(casq.OneQubitLayer).H(0).H(3)
 		c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
-		comp := casq.NewCompiler(dev, casq.Combined(), 7)
+		ex := casq.NewExecutor(dev, casq.Build(casq.Combined()))
 		cfg := casq.DefaultSimConfig()
 		cfg.Shots = 16
-		vals, err := comp.Expectations(c, []casq.Observable{{0: 'X'}}, casq.RunOptions{Instances: 2, Cfg: cfg})
+		vals, err := ex.Expectations(context.Background(), c, []casq.Observable{{0: 'X'}},
+			casq.ExecOptions{Instances: 2, Seed: 7, Cfg: cfg})
 		if err != nil {
 			b.Fatal(err)
 		}

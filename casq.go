@@ -3,27 +3,42 @@
 // Computers via Context-Aware Compiling" (Seif et al., ISCA 2024,
 // arXiv:2403.06852).
 //
-// It provides, from scratch and stdlib-only:
+// The public API is built around two composable subsystems:
 //
-//   - a layered quantum-circuit IR with scheduling, Pauli twirling, and a
-//     gate library (ECR, CX, RZZ, the canonical gate Ucan, ZXZXZ Euler
-//     decomposition);
-//   - a device model with the calibration data the paper's passes consume
-//     (always-on ZZ, Stark shifts, charge parity, NNN collision edges,
-//     coherence times, gate errors/durations);
-//   - the two compiler passes of the paper: Context-Aware Dynamical
-//     Decoupling (Algorithm 1, Walsh–Hadamard sequences on a constrained
-//     graph coloring) and Context-Aware Error Compensation (Algorithm 2,
-//     virtual-Rz/ZZ-absorption with twirl-aware sign tracking and
-//     measurement-conditioned corrections);
-//   - a trajectory statevector simulator substituting for the paper's IBM
-//     hardware, with the echoed-CR pulse context modeled so DD alignment
-//     effects emerge from the dynamics;
-//   - experiment harnesses regenerating every figure and table of the
-//     paper's evaluation (internal/experiments, cmd/experiments).
+//   - a pass pipeline: every compiler transformation (Pauli twirling,
+//     scheduling, Context-Aware Dynamical Decoupling — Algorithm 1 — and
+//     Context-Aware Error Compensation — Algorithm 2) is a Pass, and a
+//     Pipeline composes them in any order. The paper's six benchmarked
+//     strategies (Bare … Combined) are canned pipelines via Build; custom
+//     orderings (EC before DD, twirl-free DD ablations, user-defined
+//     passes) compose with NewPipeline;
+//   - a concurrent executor: NewExecutor fans the twirl instances of a job
+//     out across a worker pool with per-instance derived seeds and
+//     aggregates in instance order, so results are bit-identical for any
+//     worker count and the full shot budget is preserved.
 //
-// This facade re-exports the pieces a downstream user needs; the full
-// functionality lives in the internal packages.
+// A minimal end-to-end run:
+//
+//	dev := casq.NewLineDevice("dev", 4, casq.DefaultDeviceOptions())
+//	pl := casq.Build(casq.Combined())
+//	ex := casq.NewExecutor(dev, pl)
+//	vals, err := ex.Expectations(context.Background(), circ,
+//	    []casq.Observable{{0: 'X'}},
+//	    casq.ExecOptions{Instances: 8, Seed: 7, Cfg: casq.DefaultSimConfig()})
+//
+// Beneath the API sit, from scratch and stdlib-only: a layered
+// quantum-circuit IR with scheduling and a gate library (ECR, CX, RZZ, the
+// canonical gate Ucan, ZXZXZ Euler decomposition); a device model with the
+// calibration data the paper's passes consume (always-on ZZ, Stark shifts,
+// charge parity, NNN collision edges, coherence times, gate
+// errors/durations); a trajectory statevector simulator substituting for
+// the paper's IBM hardware, with the echoed-CR pulse context modeled so DD
+// alignment effects emerge from the dynamics; and experiment harnesses
+// regenerating every figure and table of the paper's evaluation
+// (internal/experiments, cmd/experiments).
+//
+// The pre-redesign compiler API (NewCompiler, Compiler.Expectations,
+// Compiler.Counts) remains as thin wrappers over the pipeline + executor.
 package casq
 
 import (
@@ -34,7 +49,9 @@ import (
 	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/experiments"
+	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/sim"
 	"casq/internal/twirl"
@@ -52,24 +69,57 @@ type (
 	Device = device.Device
 	// DeviceOptions configure synthetic backend generation.
 	DeviceOptions = device.Options
-	// Strategy is an error-suppression configuration.
-	Strategy = core.Strategy
-	// Compiler applies a strategy's pass pipeline.
-	Compiler = core.Compiler
 	// SimConfig toggles the simulator's noise channels.
 	SimConfig = sim.Config
 	// Observable is a Pauli observable specification.
 	Observable = sim.ObsSpec
-	// DDStrategy selects a dynamical-decoupling policy.
-	DDStrategy = dd.Strategy
-	// ECOptions configure the CA-EC pass.
-	ECOptions = caec.Options
-	// RunOptions configure twirl-averaged execution.
-	RunOptions = core.RunOptions
 	// ExperimentOptions control the paper-figure harnesses.
 	ExperimentOptions = experiments.Options
 	// Figure is a regenerated paper figure.
 	Figure = experiments.Figure
+)
+
+// Pass-pipeline types.
+type (
+	// Pass is one composable circuit transformation.
+	Pass = pass.Pass
+	// PassContext carries the device, RNG, and report sink into a pass.
+	PassContext = pass.Context
+	// Pipeline is an ordered pass composition under a name.
+	Pipeline = pass.Pipeline
+	// Report records what a pipeline's passes did during one compilation.
+	Report = pass.Report
+	// TwirlScope selects which qubits receive twirl Paulis.
+	TwirlScope = twirl.Scope
+	// DDStrategy selects a dynamical-decoupling policy.
+	DDStrategy = dd.Strategy
+	// DDOptions configure a DD pass.
+	DDOptions = dd.Options
+	// ECOptions configure a CA-EC pass.
+	ECOptions = caec.Options
+)
+
+// Executor types.
+type (
+	// Executor runs jobs compiled through a pipeline on a device.
+	Executor = exec.Executor
+	// Job is one unit of executor work.
+	Job = exec.Job
+	// ExecOptions configure a twirl-averaged execution.
+	ExecOptions = exec.RunOptions
+	// ExecResult aggregates a job's instances.
+	ExecResult = exec.Result
+)
+
+// Compatibility types for the pre-redesign compiler API.
+type (
+	// Strategy is a named error-suppression configuration; lower it to a
+	// Pipeline with Build or Strategy.Pipeline.
+	Strategy = core.Strategy
+	// Compiler applies a strategy's pass pipeline (compat wrapper).
+	Compiler = core.Compiler
+	// RunOptions configure twirl-averaged execution through a Compiler.
+	RunOptions = core.RunOptions
 )
 
 // Layer kinds.
@@ -86,6 +136,12 @@ const (
 	DDAligned      = dd.Aligned
 	DDStaggered    = dd.Staggered
 	DDContextAware = dd.ContextAware
+)
+
+// Twirl scopes.
+const (
+	TwirlGatesOnly = twirl.GatesOnly
+	TwirlAllQubits = twirl.AllQubits
 )
 
 // NewCircuit returns an empty layered circuit.
@@ -121,8 +177,47 @@ var (
 	Combined = core.Combined
 )
 
+// NewPipeline composes passes into a named pipeline. Orderings the fixed
+// strategies cannot express — EC before DD, double twirling, DD without
+// twirling — are all valid.
+func NewPipeline(name string, passes ...Pass) Pipeline {
+	return pass.New(name, passes...)
+}
+
+// Build lowers a named strategy to its canned pass pipeline.
+func Build(st Strategy) Pipeline { return st.Pipeline() }
+
+// TwirlPass returns a pass sampling one Pauli-twirl instance.
+func TwirlPass(scope TwirlScope) Pass { return pass.Twirl(scope) }
+
+// SchedulePass returns the scheduling pass; DD and EC passes consume layer
+// timing, so a SchedulePass must precede them.
+func SchedulePass() Pass { return pass.Schedule() }
+
+// DDPass returns a dynamical-decoupling insertion pass.
+func DDPass(opts DDOptions) Pass { return pass.DD(opts) }
+
+// ECPass returns a context-aware error-compensation pass.
+func ECPass(opts ECOptions) Pass { return pass.EC(opts) }
+
+// DefaultDDOptions returns the context-aware DD configuration.
+func DefaultDDOptions() DDOptions { return dd.DefaultOptions() }
+
+// DefaultECOptions returns the default CA-EC configuration.
+func DefaultECOptions() ECOptions { return caec.DefaultOptions() }
+
+// Compile applies a pipeline to one twirl instance of the circuit with a
+// deterministic seed, returning the compiled circuit and the pass report.
+func Compile(dev *Device, pl Pipeline, c *Circuit, seed int64) (*Circuit, Report, error) {
+	return pl.Apply(dev, rand.New(rand.NewSource(seed)), c)
+}
+
+// NewExecutor returns a concurrent executor running the pipeline on the
+// device. Results are bit-identical for any worker count.
+func NewExecutor(dev *Device, pl Pipeline) *Executor { return exec.New(dev, pl) }
+
 // NewCompiler returns a compiler for the device and strategy with a
-// deterministic twirl sampler.
+// deterministic twirl sampler (compat wrapper over Build + NewExecutor).
 func NewCompiler(dev *Device, st Strategy, seed int64) *Compiler {
 	return core.New(dev, st, seed)
 }

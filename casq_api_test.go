@@ -1,6 +1,7 @@
 package casq_test
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -62,6 +63,83 @@ func TestFacadeExperiments(t *testing.T) {
 	}
 	if fig.ID != "table1" {
 		t.Error("wrong figure returned")
+	}
+}
+
+// TestFacadeCustomPipeline runs compositions the pre-redesign Strategy API
+// could not express — CA-EC before CA-DD, and twirl-free DD — through the
+// public facade.
+func TestFacadeCustomPipeline(t *testing.T) {
+	dev := casq.NewLineDevice("api", 4, casq.DefaultDeviceOptions())
+	c := casq.NewCircuit(4, 0)
+	c.AddLayer(casq.OneQubitLayer).H(0).H(3)
+	c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
+
+	cfg := casq.DefaultSimConfig()
+	cfg.Shots = 32
+	pipelines := []casq.Pipeline{
+		casq.NewPipeline("ec-then-dd",
+			casq.TwirlPass(casq.TwirlGatesOnly),
+			casq.SchedulePass(),
+			casq.ECPass(casq.DefaultECOptions()),
+			casq.SchedulePass(),
+			casq.DDPass(casq.DefaultDDOptions()),
+		),
+		casq.NewPipeline("dd-only", casq.SchedulePass(), casq.DDPass(casq.DefaultDDOptions())),
+	}
+	for _, pl := range pipelines {
+		ex := casq.NewExecutor(dev, pl)
+		vals, err := ex.Expectations(context.Background(), c, []casq.Observable{{0: 'X'}},
+			casq.ExecOptions{Instances: 2, Seed: 3, Cfg: cfg})
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name, err)
+		}
+		if math.IsNaN(vals[0]) || vals[0] < -1.001 || vals[0] > 1.001 {
+			t.Errorf("%s: bad expectation %v", pl.Name, vals[0])
+		}
+		compiled, rep, err := casq.Compile(dev, pl, c, 3)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", pl.Name, err)
+		}
+		if err := compiled.Validate(); err != nil {
+			t.Fatalf("%s: invalid circuit: %v", pl.Name, err)
+		}
+		if rep.DD.Total == 0 {
+			t.Errorf("%s: no DD pulses despite DD pass", pl.Name)
+		}
+	}
+}
+
+// TestFacadeCompatSemantics pins the compat Compiler wrappers: two
+// Compilers with the same construction seed reproduce each other
+// bit-for-bit, while successive calls on one Compiler draw fresh twirl
+// samples (the pre-redesign shared-RNG semantics).
+func TestFacadeCompatSemantics(t *testing.T) {
+	dev := casq.NewLineDevice("api", 4, casq.DefaultDeviceOptions())
+	c := casq.NewCircuit(4, 0)
+	c.AddLayer(casq.OneQubitLayer).H(0).H(3)
+	c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
+
+	cfg := casq.DefaultSimConfig()
+	cfg.Shots = 48
+	obs := []casq.Observable{{0: 'X'}}
+	ro := casq.RunOptions{Instances: 3, Cfg: cfg}
+	run := func(comp *casq.Compiler) float64 {
+		t.Helper()
+		vals, err := comp.Expectations(c, obs, ro)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return vals[0]
+	}
+	a := casq.NewCompiler(dev, casq.Combined(), 11)
+	b := casq.NewCompiler(dev, casq.Combined(), 11)
+	first := run(a)
+	if again := run(b); again != first {
+		t.Errorf("same construction seed gave %v then %v (must be bit-identical)", first, again)
+	}
+	if second := run(a); second == first {
+		t.Errorf("successive calls on one Compiler returned identical %v — twirl samples must be fresh", first)
 	}
 }
 

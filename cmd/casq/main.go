@@ -6,19 +6,29 @@
 //
 //	casq -workload ising -strategy ca-ec+dd -steps 3 [-draw]
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
+//	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -list
+//
+// The -passes flag composes an arbitrary pipeline (orderings the named
+// strategies cannot express, e.g. CA-EC before DD, or DD without
+// twirling); it overrides -strategy.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
+	"strings"
 
+	"casq/internal/caec"
 	"casq/internal/circuit"
-	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
 	"casq/internal/models"
+	"casq/internal/pass"
+	"casq/internal/twirl"
 )
 
 var workloads = map[string]func(steps int) (*device.Device, *circuit.Circuit){
@@ -46,37 +56,82 @@ var workloads = map[string]func(steps int) (*device.Device, *circuit.Circuit){
 	},
 }
 
-var strategies = map[string]func() core.Strategy{
-	"bare":      core.Bare,
-	"twirled":   core.Twirled,
-	"dd":        func() core.Strategy { return core.WithDD(dd.Aligned) },
-	"staggered": func() core.Strategy { return core.WithDD(dd.Staggered) },
-	"ca-dd":     core.CADD,
-	"ca-ec":     core.CAEC,
-	"ca-ec+dd":  core.Combined,
+var strategies = map[string]func() pass.Pipeline{
+	"bare":      pass.Bare,
+	"twirled":   pass.Twirled,
+	"dd":        func() pass.Pipeline { return pass.WithDD(dd.Aligned) },
+	"staggered": func() pass.Pipeline { return pass.WithDD(dd.Staggered) },
+	"ca-dd":     pass.CADD,
+	"ca-ec":     pass.CAEC,
+	"ca-ec+dd":  pass.Combined,
+}
+
+// passTable is the single source of the -passes vocabulary: parsePass,
+// the unknown-pass error, and -list all derive from it.
+var passTable = []struct {
+	name  string
+	build func() pass.Pass
+}{
+	{"twirl", func() pass.Pass { return pass.Twirl(twirl.GatesOnly) }},
+	{"twirl:all", func() pass.Pass { return pass.Twirl(twirl.AllQubits) }},
+	{"sched", pass.Schedule},
+	// "dd" matches -strategy dd (aligned); the context-aware pass is dd:ca.
+	{"dd", func() pass.Pass { return pass.DD(ddOptions(dd.Aligned)) }},
+	{"dd:ca", func() pass.Pass { return pass.DD(dd.DefaultOptions()) }},
+	{"dd:aligned", func() pass.Pass { return pass.DD(ddOptions(dd.Aligned)) }},
+	{"dd:staggered", func() pass.Pass { return pass.DD(ddOptions(dd.Staggered)) }},
+	{"ec", func() pass.Pass { return pass.EC(caec.DefaultOptions()) }},
+}
+
+func ddOptions(s dd.Strategy) dd.Options {
+	o := dd.DefaultOptions()
+	o.Strategy = s
+	return o
+}
+
+func passNames() []string {
+	out := make([]string, len(passTable))
+	for i, e := range passTable {
+		out[i] = e.name
+	}
+	return out
+}
+
+// parsePass maps one -passes element to a Pass.
+func parsePass(name string) (pass.Pass, error) {
+	for _, e := range passTable {
+		if e.name == name {
+			return e.build(), nil
+		}
+	}
+	return nil, fmt.Errorf("unknown pass %q (known: %s)", name, strings.Join(passNames(), ", "))
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 func main() {
 	var (
 		workload = flag.String("workload", "ising", "workload name (see -list)")
 		strategy = flag.String("strategy", "ca-ec+dd", "strategy name (see -list)")
+		passes   = flag.String("passes", "", "comma-separated custom pipeline, e.g. twirl,sched,ec,sched,dd:aligned (overrides -strategy)")
 		steps    = flag.Int("steps", 2, "workload depth")
 		seed     = flag.Int64("seed", 7, "twirl seed")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
-		list     = flag.Bool("list", false, "list workloads and strategies")
+		list     = flag.Bool("list", false, "list workloads, strategies and passes")
 	)
 	flag.Parse()
 
 	if *list {
-		fmt.Print("workloads: ")
-		for name := range workloads {
-			fmt.Printf("%s ", name)
-		}
-		fmt.Print("\nstrategies: ")
-		for name := range strategies {
-			fmt.Printf("%s ", name)
-		}
-		fmt.Println()
+		fmt.Printf("workloads:  %s\n", strings.Join(sortedKeys(workloads), " "))
+		fmt.Printf("strategies: %s\n", strings.Join(sortedKeys(strategies), " "))
+		fmt.Printf("passes:     %s\n", strings.Join(passNames(), " "))
 		return
 	}
 	wf, ok := workloads[*workload]
@@ -84,28 +139,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
 	}
-	sf, ok := strategies[*strategy]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
-		os.Exit(2)
+	var pl pass.Pipeline
+	if *passes != "" {
+		var ps []pass.Pass
+		for _, name := range strings.Split(*passes, ",") {
+			p, err := parsePass(strings.TrimSpace(name))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			ps = append(ps, p)
+		}
+		pl = pass.New("custom", ps...)
+	} else {
+		pf, ok := strategies[*strategy]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategy)
+			os.Exit(2)
+		}
+		pl = pf()
 	}
 	dev, circ := wf(*steps)
-	comp := core.New(dev, sf(), *seed)
-	compiled, info, err := comp.Compile(circ)
+	compiled, rep, err := pl.Apply(dev, rand.New(rand.NewSource(*seed)), circ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("workload %s on %s (%d qubits), strategy %s\n", *workload, dev.Name, dev.NQubits, *strategy)
-	fmt.Printf("compiled: %d layers, duration %.0f ns\n", compiled.Depth(), info.Duration)
-	if info.DDReport.Total > 0 {
-		fmt.Printf("DD: %d pulses over %d windows\n", info.DDReport.Total, len(info.DDReport.Windows))
-		for _, w := range info.DDReport.Windows {
+	fmt.Printf("workload %s on %s (%d qubits), pipeline %s\n", *workload, dev.Name, dev.NQubits, pl)
+	fmt.Printf("compiled: %d layers, duration %.0f ns\n", compiled.Depth(), rep.Duration)
+	if rep.DD.Total > 0 {
+		fmt.Printf("DD: %d pulses over %d windows\n", rep.DD.Total, len(rep.DD.Windows))
+		for _, w := range rep.DD.Windows {
 			fmt.Printf("  window [%7.0f, %7.0f] ns qubits %v colors %v\n",
 				w.Window.Start, w.Window.End, w.Window.Qubits, w.Colors)
 		}
 	}
-	s := info.ECStats
+	s := rep.EC
 	if s.VirtualRZ+s.AbsorbedUcan+s.AbsorbedCX+s.InsertedRZZ+s.Conditional > 0 {
 		fmt.Printf("CA-EC: %d virtual Rz, %d absorbed into Ucan/RZZ, %d through CX, %d native RZZ inserted, %d conditional, %d twirl sign flips, %d dropped (%.3f rad)\n",
 			s.VirtualRZ, s.AbsorbedUcan, s.AbsorbedCX, s.InsertedRZZ, s.Conditional, s.SignFlips, s.Dropped, s.DroppedAngles)

@@ -25,6 +25,7 @@ func main() {
 		fast      = flag.Bool("fast", false, "reduced sampling for quick runs")
 		shots     = flag.Int("shots", 0, "override trajectory budget per point")
 		instances = flag.Int("instances", 0, "override twirl instances per point")
+		workers   = flag.Int("workers", 0, "concurrent twirl instances per point (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 0, "override random seed")
 	)
 	flag.Parse()
@@ -44,6 +45,9 @@ func main() {
 	}
 	if *instances > 0 {
 		opts.Instances = *instances
+	}
+	if *workers > 0 {
+		opts.Workers = *workers
 	}
 	if *seed != 0 {
 		opts.Seed = *seed

@@ -8,14 +8,16 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"casq/internal/caec"
-	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/expval"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -26,13 +28,14 @@ func main() {
 	fmt.Printf("device: measurement %.1f us, true feed-forward latency %.2f us\n",
 		dev.DurMeas/1e3, dev.DurFF/1e3)
 
-	fidelity := func(st core.Strategy, seed int64) float64 {
+	fidelity := func(pl pass.Pipeline, seed int64) float64 {
 		c := models.BuildDynamicBell(dev.DurFF)
-		comp := core.New(dev, st, seed)
+		ex := exec.New(dev, pl)
 		cfg := sim.DefaultConfig()
 		cfg.Shots = 1200
 		cfg.Seed = seed
-		res, err := comp.Counts(c, core.RunOptions{Instances: 1, Cfg: cfg})
+		res, err := ex.Counts(context.Background(), c,
+			exec.RunOptions{Instances: 1, Seed: seed, Cfg: cfg})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -44,15 +47,16 @@ func main() {
 		return p
 	}
 
-	bare := fidelity(core.Strategy{Name: "bare"}, 1)
+	bare := fidelity(pass.Bare(), 1)
 	fmt.Printf("\nbare Bell fidelity: %.3f (paper: 0.095)\n\n", bare)
 
 	fmt.Println("CA-EC fidelity vs assumed feed-forward time tau:")
 	best, bestTau := 0.0, 0.0
 	for _, tau := range []float64{0, 400, 800, 1150, 1500, 1900, 2300} {
-		st := core.Strategy{Name: "ca-ec", EC: true, ECOpts: caec.DefaultOptions()}
-		st.ECOpts.FFTime = tau
-		f := fidelity(st, 100+int64(tau))
+		ecOpts := caec.DefaultOptions()
+		ecOpts.FFTime = tau
+		pl := pass.New("ca-ec", pass.Schedule(), pass.EC(ecOpts))
+		f := fidelity(pl, 100+int64(tau))
 		fmt.Printf("  tau = %4.0f ns  ->  F = %.3f\n", tau, f)
 		if f > best {
 			best, bestTau = f, tau

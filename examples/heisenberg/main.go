@@ -7,14 +7,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/fitting"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -26,15 +29,14 @@ func main() {
 	obs := []sim.ObsSpec{{2: 'Z'}}
 	depths := []int{1, 2, 3, 4, 5}
 
-	strategies := []core.Strategy{core.Twirled(), core.WithDD(dd.Aligned), core.CADD(), core.CAEC()}
+	pipelines := []pass.Pipeline{pass.Twirled(), pass.WithDD(dd.Aligned), pass.CADD(), pass.CAEC()}
 	fmt.Println("Heisenberg ring (12 spins), <Z2> per Trotter step:")
 	fmt.Printf("%4s %8s", "d", "ideal")
-	for _, st := range strategies {
-		fmt.Printf(" %10s", st.Name)
+	for _, pl := range pipelines {
+		fmt.Printf(" %10s", pl.Name)
 	}
 	fmt.Println()
 
-	ideal := map[int]float64{}
 	meas := map[string][]float64{}
 	var ds, ideals []float64
 	for _, d := range depths {
@@ -43,33 +45,33 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ideal[d] = iv[0]
 		ds = append(ds, float64(d))
 		ideals = append(ideals, iv[0])
 		fmt.Printf("%4d %+8.3f", d, iv[0])
-		for _, st := range strategies {
-			comp := core.New(dev, st, int64(10*d))
+		for _, pl := range pipelines {
+			ex := exec.New(dev, pl)
 			cfg := sim.DefaultConfig()
 			cfg.Shots = 120
 			cfg.Seed = int64(d) * 31
 			cfg.EnableReadoutErr = false
-			vals, err := comp.Expectations(c, obs, core.RunOptions{Instances: 6, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c, obs,
+				exec.RunOptions{Instances: 6, Seed: int64(10 * d), Cfg: cfg})
 			if err != nil {
 				log.Fatal(err)
 			}
-			meas[st.Name] = append(meas[st.Name], vals[0])
+			meas[pl.Name] = append(meas[pl.Name], vals[0])
 			fmt.Printf(" %+10.3f", vals[0])
 		}
 		fmt.Println()
 	}
 
 	fmt.Println("\nglobal-depolarizing fits and mitigation overhead at d=5 (paper Fig. 7d):")
-	for _, st := range strategies {
-		amp, lambda, _, err := fitting.ScaledIdeal(ds, ideals, meas[st.Name])
+	for _, pl := range pipelines {
+		amp, lambda, _, err := fitting.ScaledIdeal(ds, ideals, meas[pl.Name])
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %-12s A=%.3f lambda=%.4f overhead=%.2f\n",
-			st.Name, amp, lambda, fitting.SamplingOverhead(amp, lambda, 5))
+			pl.Name, amp, lambda, fitting.SamplingOverhead(amp, lambda, 5))
 	}
 }

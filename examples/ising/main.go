@@ -1,17 +1,21 @@
 // Ising: the paper's Fig. 6 workload — Floquet evolution of a 6-qubit Ising
 // chain at the Clifford point, where the boundary correlator <X0 X5>
 // ideally oscillates between +1 and -1. Compares twirling-only against the
-// context-aware strategies.
+// context-aware strategies, each lowered to a pass pipeline and run on the
+// concurrent executor.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"casq"
 	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -20,6 +24,12 @@ func main() {
 	devOpts.Seed = 37
 	dev := device.NewLine("ising6", 6, devOpts)
 	obs := []sim.ObsSpec{{0: 'X', 5: 'X'}}
+
+	pipelines := []pass.Pipeline{pass.Twirled(), pass.CAEC(), pass.CADD()}
+	executors := make([]*exec.Executor, len(pipelines))
+	for i, pl := range pipelines {
+		executors[i] = exec.New(dev, pl)
+	}
 
 	fmt.Println("Floquet Ising chain, <X0 X5> per step (ideal oscillates +1/-1):")
 	fmt.Printf("%4s %8s %10s %10s %10s\n", "d", "ideal", "twirled", "ca-ec", "ca-dd")
@@ -30,13 +40,13 @@ func main() {
 			log.Fatal(err)
 		}
 		row := []float64{ideal[0]}
-		for _, st := range []core.Strategy{core.Twirled(), core.CAEC(), core.CADD()} {
-			comp := core.New(dev, st, int64(100+d))
+		for _, ex := range executors {
 			cfg := sim.DefaultConfig()
 			cfg.Shots = 200
 			cfg.Seed = int64(d)
 			cfg.EnableReadoutErr = false
-			vals, err := comp.Expectations(c, obs, core.RunOptions{Instances: 8, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c, obs,
+				exec.RunOptions{Instances: 8, Seed: int64(100 + d), Cfg: cfg})
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -29,10 +29,14 @@ func main() {
 	opts := layerfid.DefaultOptions()
 	opts.Shots = 40
 	opts.Instances = 4
+	opts.Workers = 0 // fan twirl instances across GOMAXPROCS workers
 	opts.PauliRounds = 8
 
 	fmt.Printf("%-12s %8s %8s   %s\n", "strategy", "LF", "gamma", "per-partition process fidelities")
 	for _, st := range []core.Strategy{core.Twirled(), core.WithDD(dd.Aligned), core.CADD(), core.CAEC()} {
+		// Measure lowers the strategy to its pass pipeline and runs the
+		// twirl instances on the concurrent executor.
+		fmt.Printf("# %v\n", st.Pipeline())
 		res, err := layerfid.Measure(dev, layer, st, opts)
 		if err != nil {
 			log.Fatal(err)

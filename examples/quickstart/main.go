@@ -1,9 +1,12 @@
 // Quickstart: build a small layered circuit, compile it with the combined
 // context-aware strategy (CA-DD + CA-EC), and compare noisy expectation
-// values against the uncompiled circuit on the synthetic backend.
+// values against the uncompiled circuit on the synthetic backend — then
+// compose a custom pipeline (EC before DD) that the fixed strategies
+// cannot express.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,23 +33,42 @@ func main() {
 	cfg := casq.DefaultSimConfig()
 	cfg.Shots = 400
 
+	// The paper's named strategies, lowered to canned pipelines and run on
+	// the concurrent executor (results are identical for any worker count).
 	for _, st := range []casq.Strategy{casq.Twirled(), casq.CADD(), casq.CAEC(), casq.Combined()} {
-		comp := casq.NewCompiler(dev, st, 7)
-		vals, err := comp.Expectations(build(), obs, casq.RunOptions{Instances: 8, Cfg: cfg})
+		ex := casq.NewExecutor(dev, casq.Build(st))
+		vals, err := ex.Expectations(context.Background(), build(), obs,
+			casq.ExecOptions{Instances: 8, Seed: 7, Cfg: cfg})
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-10s  <X0> = %+.4f   <X3> = %+.4f   (ideal: +1, +1)\n", st.Name, vals[0], vals[1])
 	}
 
-	// Show what the compiler actually did to one twirl instance.
-	comp := casq.NewCompiler(dev, casq.Combined(), 7)
-	compiled, info, err := comp.Compile(build())
+	// A custom composition the fixed strategies cannot express: error
+	// compensation first, then DD on the compensated schedule.
+	custom := casq.NewPipeline("ec-then-dd",
+		casq.TwirlPass(casq.TwirlGatesOnly),
+		casq.SchedulePass(),
+		casq.ECPass(casq.DefaultECOptions()),
+		casq.SchedulePass(),
+		casq.DDPass(casq.DefaultDDOptions()),
+	)
+	ex := casq.NewExecutor(dev, custom)
+	vals, err := ex.Expectations(context.Background(), build(), obs,
+		casq.ExecOptions{Instances: 8, Seed: 7, Cfg: cfg})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\ncombined strategy: %d DD pulses, %d virtual Rz, %d absorbed ZZ, duration %.0f ns\n",
-		info.DDReport.Total, info.ECStats.VirtualRZ,
-		info.ECStats.AbsorbedUcan+info.ECStats.AbsorbedCX+info.ECStats.InsertedRZZ, info.Duration)
+	fmt.Printf("%-10s  <X0> = %+.4f   <X3> = %+.4f   (custom pipeline)\n", custom.Name, vals[0], vals[1])
+
+	// Show what the compiler actually did to one twirl instance.
+	compiled, rep, err := casq.Compile(dev, casq.Build(casq.Combined()), build(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncombined strategy (%v): %d DD pulses, %d virtual Rz, %d absorbed ZZ, duration %.0f ns\n",
+		rep.Applied, rep.DD.Total, rep.EC.VirtualRZ,
+		rep.EC.AbsorbedUcan+rep.EC.AbsorbedCX+rep.EC.InsertedRZZ, rep.Duration)
 	fmt.Println(compiled.Draw())
 }

@@ -1,0 +1,3 @@
+module casq
+
+go 1.24

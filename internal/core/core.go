@@ -1,25 +1,30 @@
-// Package core is the context-aware compiler: it ties the individual passes
-// (Pauli twirling, scheduling, CA-DD insertion, CA-EC compensation) into the
-// pipelines the paper evaluates, and provides the twirl-averaged execution
-// helpers the experiment harnesses use.
+// Package core is the strategy layer of the context-aware compiler: it
+// names the pass compositions the paper evaluates (Bare … Combined) and
+// keeps the pre-redesign Compiler/Expectations/Counts API as thin wrappers
+// over the composable internal/pass pipelines and the concurrent
+// internal/exec executor.
 //
 // The canonical pipeline per twirl instance is
 //
 //	stratified circuit -> twirl -> schedule -> DD -> CA-EC -> schedule
 //
 // matching Sec. IV: DD is inserted first so that CA-EC sees the pulse
-// schedule and compensates only what DD leaves behind (the combined strategy
-// of Fig. 10).
+// schedule and compensates only what DD leaves behind (the combined
+// strategy of Fig. 10). New code should compose pass.Pipeline values
+// directly and run them through exec.Executor; Strategy remains the
+// convenient named-configuration descriptor.
 package core
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
 	"casq/internal/caec"
 	"casq/internal/circuit"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
+	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/sim"
 	"casq/internal/twirl"
@@ -77,6 +82,24 @@ func Combined() Strategy {
 	return st
 }
 
+// Pipeline lowers the strategy to its pass composition: [twirl] -> sched
+// -> [dd] -> [ec]. The result can be edited or recomposed freely before
+// execution.
+func (st Strategy) Pipeline() pass.Pipeline {
+	var passes []pass.Pass
+	if st.Twirl {
+		passes = append(passes, pass.Twirl(st.TwirlScope))
+	}
+	passes = append(passes, pass.Schedule())
+	if st.DD != dd.None {
+		passes = append(passes, pass.DD(st.DDOpts))
+	}
+	if st.EC {
+		passes = append(passes, pass.EC(st.ECOpts))
+	}
+	return pass.New(st.Name, passes...)
+}
+
 // Info reports what the passes did during one compilation.
 type Info struct {
 	DDReport dd.Report
@@ -85,6 +108,11 @@ type Info struct {
 }
 
 // Compiler compiles circuits for a device under a strategy.
+//
+// Deprecated-style compatibility shim: Compile keeps the pre-redesign
+// shared-RNG semantics (successive Compile calls consume one twirl
+// stream), while Expectations and Counts delegate to the concurrent
+// executor with per-instance derived seeds.
 type Compiler struct {
 	Dev      *device.Device
 	Strategy Strategy
@@ -96,109 +124,47 @@ func New(dev *device.Device, st Strategy, seed int64) *Compiler {
 	return &Compiler{Dev: dev, Strategy: st, Rng: rand.New(rand.NewSource(seed))}
 }
 
-// Compile runs the pass pipeline on one twirl instance of the circuit.
+// Compile runs the strategy's pass pipeline on one twirl instance of the
+// circuit.
 func (c *Compiler) Compile(circ *circuit.Circuit) (*circuit.Circuit, Info, error) {
-	var info Info
-	out := circ.Clone()
-	var err error
-	if c.Strategy.Twirl {
-		out, err = twirl.Instance(out, c.Strategy.TwirlScope, c.Rng)
-		if err != nil {
-			return nil, info, fmt.Errorf("core: twirl: %w", err)
-		}
+	out, rep, err := c.Strategy.Pipeline().Apply(c.Dev, c.Rng, circ)
+	if err != nil {
+		return nil, Info{}, err
 	}
-	sched.Schedule(out, c.Dev)
-	if c.Strategy.DD != dd.None {
-		info.DDReport, err = dd.Insert(out, c.Dev, c.Strategy.DDOpts)
-		if err != nil {
-			return nil, info, fmt.Errorf("core: dd: %w", err)
-		}
-	}
-	if c.Strategy.EC {
-		out, info.ECStats, err = caec.Apply(out, c.Dev, c.Strategy.ECOpts)
-		if err != nil {
-			return nil, info, fmt.Errorf("core: ca-ec: %w", err)
-		}
-	}
-	info.Duration = sched.Schedule(out, c.Dev)
-	if err := out.Validate(); err != nil {
-		return nil, info, fmt.Errorf("core: compiled circuit invalid: %w", err)
-	}
-	return out, info, nil
+	return out, Info{DDReport: rep.DD, ECStats: rep.EC, Duration: rep.Duration}, nil
 }
 
 // RunOptions configure twirl-averaged execution.
 type RunOptions struct {
 	Instances int // twirl instances to average over (min 1)
+	Workers   int // concurrent instances; 0 = GOMAXPROCS
 	Cfg       sim.Config
 }
 
+// Executor returns the concurrent executor for this compiler's strategy.
+func (c *Compiler) Executor() *exec.Executor {
+	return exec.New(c.Dev, c.Strategy.Pipeline())
+}
+
+// execOptions derives the executor options for one averaged run. The base
+// seed is drawn from the compiler's shared Rng so that, as before the
+// redesign, successive Expectations/Counts calls on one Compiler average
+// over fresh independent twirl samples while remaining deterministic from
+// the construction seed.
+func (c *Compiler) execOptions(ro RunOptions) exec.RunOptions {
+	return exec.RunOptions{Instances: ro.Instances, Workers: ro.Workers, Seed: c.Rng.Int63(), Cfg: ro.Cfg}
+}
+
 // Expectations compiles `Instances` twirl samples of the circuit and
-// averages the simulated expectation values across them, splitting the shot
-// budget evenly.
+// averages the simulated expectation values across them, distributing the
+// full shot budget (including the remainder) over the instances.
 func (c *Compiler) Expectations(circ *circuit.Circuit, obs []sim.ObsSpec, ro RunOptions) ([]float64, error) {
-	if ro.Instances < 1 {
-		ro.Instances = 1
-	}
-	shots := ro.Cfg.Shots
-	if shots < ro.Instances {
-		shots = ro.Instances
-	}
-	perInst := shots / ro.Instances
-	sums := make([]float64, len(obs))
-	for k := 0; k < ro.Instances; k++ {
-		compiled, _, err := c.Compile(circ)
-		if err != nil {
-			return nil, err
-		}
-		cfg := ro.Cfg
-		cfg.Shots = perInst
-		cfg.Seed = ro.Cfg.Seed + int64(k)*101
-		r := sim.New(c.Dev, cfg)
-		vals, err := r.Expectations(compiled, obs)
-		if err != nil {
-			return nil, err
-		}
-		for i, v := range vals {
-			sums[i] += v
-		}
-	}
-	for i := range sums {
-		sums[i] /= float64(ro.Instances)
-	}
-	return sums, nil
+	return c.Executor().Expectations(context.Background(), circ, obs, c.execOptions(ro))
 }
 
 // Counts compiles twirl samples and merges measured bitstring counts.
 func (c *Compiler) Counts(circ *circuit.Circuit, ro RunOptions) (sim.Result, error) {
-	if ro.Instances < 1 {
-		ro.Instances = 1
-	}
-	shots := ro.Cfg.Shots
-	if shots < ro.Instances {
-		shots = ro.Instances
-	}
-	perInst := shots / ro.Instances
-	total := sim.Result{Counts: map[string]int{}}
-	for k := 0; k < ro.Instances; k++ {
-		compiled, _, err := c.Compile(circ)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		cfg := ro.Cfg
-		cfg.Shots = perInst
-		cfg.Seed = ro.Cfg.Seed + int64(k)*101
-		r := sim.New(c.Dev, cfg)
-		res, err := r.Counts(compiled)
-		if err != nil {
-			return sim.Result{}, err
-		}
-		for k2, v := range res.Counts {
-			total.Counts[k2] += v
-		}
-		total.Shots += res.Shots
-	}
-	return total, nil
+	return c.Executor().Counts(context.Background(), circ, c.execOptions(ro))
 }
 
 // IdealExpectations runs the uncompiled circuit noiselessly — the "Ideal"

@@ -1,0 +1,281 @@
+// Package exec is the concurrent twirl-averaged executor. It fans the
+// twirl instances of a Job out across a worker pool — each instance is an
+// independent compilation (its own derived RNG) and simulation (its own
+// shot slice and sim seed) — and aggregates results in instance order, so
+// the output is bit-identical for any worker count.
+//
+// The shot budget is distributed exactly: shots/instances per instance,
+// with the remainder spread one-per-instance over the first instances, so
+// no shots are silently dropped (the pre-redesign averaging loops lost
+// shots % instances of the budget).
+package exec
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/pass"
+	"casq/internal/sim"
+)
+
+// RunOptions configure one twirl-averaged execution.
+type RunOptions struct {
+	// Instances is the number of twirl instances to average over (min 1).
+	Instances int
+	// Workers bounds the number of instances compiled/simulated
+	// concurrently; 0 means GOMAXPROCS. Results are identical for any
+	// value.
+	Workers int
+	// Seed derives each instance's compilation RNG. Two runs with the
+	// same seed produce identical results.
+	Seed int64
+	// Cfg is the simulator configuration. Cfg.Shots is the TOTAL shot
+	// budget across all instances; Cfg.Seed seeds instance 0's simulation
+	// (instance k uses Cfg.Seed + 101k).
+	Cfg sim.Config
+}
+
+// Job is one unit of executor work.
+type Job struct {
+	Circuit *circuit.Circuit
+	// Observables, when non-empty, makes the executor estimate
+	// expectation values; otherwise it collects measured bitstring
+	// counts.
+	Observables []sim.ObsSpec
+	Opts        RunOptions
+}
+
+// Result aggregates a Job's instances.
+type Result struct {
+	// ExpVals are the shot-weighted means of the observables (expectation
+	// jobs only).
+	ExpVals []float64
+	// Counts merges the measured bitstrings (counts jobs only).
+	Counts map[string]int
+	// Shots is the total number of shots executed — always the full
+	// budget.
+	Shots int
+	// InstanceShots is each instance's share of the budget, in instance
+	// order: shots/instances each, with the remainder spread one per
+	// instance from the front.
+	InstanceShots []int
+	// Reports holds each instance's compilation report in instance order.
+	Reports []pass.Report
+}
+
+// Executor runs jobs compiled through a pipeline on a device.
+type Executor struct {
+	Dev      *device.Device
+	Pipeline pass.Pipeline
+}
+
+// New returns an executor for the device and pipeline.
+func New(dev *device.Device, pl pass.Pipeline) *Executor {
+	return &Executor{Dev: dev, Pipeline: pl}
+}
+
+// instanceOut is one instance's contribution, aggregated in index order.
+type instanceOut struct {
+	vals   []float64
+	counts map[string]int
+	shots  int
+	report pass.Report
+}
+
+// splitmix64 is the SplitMix64 output function — used to derive
+// well-separated per-instance compilation seeds from (Seed, k).
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// InstanceSeed derives the compilation seed of instance k from the base
+// seed. Exposed so tests can reproduce a single instance.
+func InstanceSeed(seed int64, k int) int64 {
+	return int64(splitmix64(uint64(seed) + uint64(k)*0x9e3779b97f4a7c15))
+}
+
+// Run executes the job: Opts.Instances independent twirl instances, fanned
+// out over the worker pool, aggregated in instance order. It honors ctx
+// cancellation between instances.
+func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
+	if job.Circuit == nil {
+		return Result{}, fmt.Errorf("exec: job has no circuit")
+	}
+	ro := job.Opts
+	if ro.Instances < 1 {
+		ro.Instances = 1
+	}
+	shots := ro.Cfg.Shots
+	if shots < ro.Instances {
+		shots = ro.Instances
+	}
+	perInst, rem := shots/ro.Instances, shots%ro.Instances
+
+	workers := ro.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > ro.Instances {
+		workers = ro.Instances
+	}
+
+	runInstance := func(k int) (instanceOut, error) {
+		rng := rand.New(rand.NewSource(InstanceSeed(ro.Seed, k)))
+		compiled, rep, err := e.Pipeline.Apply(e.Dev, rng, job.Circuit)
+		if err != nil {
+			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
+		}
+		cfg := ro.Cfg
+		if workers > 1 && cfg.Workers <= 0 {
+			// Instance-level fan-out already saturates the cores; letting
+			// each simulator also default to GOMAXPROCS shot workers would
+			// oversubscribe quadratically. An explicit Cfg.Workers is
+			// respected. Simulator results do not depend on its worker
+			// count, so this cannot change the output.
+			cfg.Workers = 1
+		}
+		cfg.Shots = perInst
+		if k < rem {
+			cfg.Shots++
+		}
+		cfg.Seed = ro.Cfg.Seed + int64(k)*101
+		r := sim.New(e.Dev, cfg)
+		out := instanceOut{shots: cfg.Shots, report: rep}
+		if len(job.Observables) > 0 {
+			out.vals, err = r.Expectations(compiled, job.Observables)
+		} else {
+			var res sim.Result
+			res, err = r.Counts(compiled)
+			out.counts = res.Counts
+			out.shots = res.Shots
+		}
+		if err != nil {
+			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
+		}
+		return out, nil
+	}
+
+	outs := make([]instanceOut, ro.Instances)
+	if workers == 1 {
+		// Serial fast path: no goroutines, but still cancellable.
+		for k := 0; k < ro.Instances; k++ {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+			var err error
+			if outs[k], err = runInstance(k); err != nil {
+				return Result{}, err
+			}
+		}
+	} else {
+		cctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		indices := make(chan int)
+		var (
+			wg       sync.WaitGroup
+			errOnce  sync.Once
+			firstErr error
+		)
+		fail := func(err error) {
+			errOnce.Do(func() { firstErr = err })
+			cancel()
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range indices {
+					// The feed select can hand out an index even after
+					// cancellation; re-check here so no instance burns
+					// CPU once the caller has given up.
+					if cctx.Err() != nil {
+						return
+					}
+					out, err := runInstance(k)
+					if err != nil {
+						fail(err)
+						return
+					}
+					outs[k] = out
+				}
+			}()
+		}
+	feed:
+		for k := 0; k < ro.Instances; k++ {
+			select {
+			case indices <- k:
+			case <-cctx.Done():
+				break feed
+			}
+		}
+		close(indices)
+		wg.Wait()
+		if firstErr != nil {
+			return Result{}, firstErr
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Aggregate strictly in instance order so floating-point reduction is
+	// independent of worker scheduling.
+	res := Result{
+		InstanceShots: make([]int, 0, ro.Instances),
+		Reports:       make([]pass.Report, 0, ro.Instances),
+	}
+	if len(job.Observables) > 0 {
+		res.ExpVals = make([]float64, len(job.Observables))
+	} else {
+		res.Counts = map[string]int{}
+	}
+	for k := 0; k < ro.Instances; k++ {
+		o := outs[k]
+		res.Shots += o.shots
+		res.InstanceShots = append(res.InstanceShots, o.shots)
+		res.Reports = append(res.Reports, o.report)
+		for i, v := range o.vals {
+			res.ExpVals[i] += v * float64(o.shots)
+		}
+		for bits, n := range o.counts {
+			res.Counts[bits] += n
+		}
+	}
+	if len(job.Observables) > 0 && res.Shots > 0 {
+		for i := range res.ExpVals {
+			res.ExpVals[i] /= float64(res.Shots)
+		}
+	}
+	return res, nil
+}
+
+// Expectations is the expectation-value entry point: it runs the circuit's
+// twirl instances and returns the shot-weighted mean of each observable.
+func (e *Executor) Expectations(ctx context.Context, c *circuit.Circuit, obs []sim.ObsSpec, ro RunOptions) ([]float64, error) {
+	if len(obs) == 0 {
+		return nil, fmt.Errorf("exec: Expectations needs at least one observable")
+	}
+	res, err := e.Run(ctx, Job{Circuit: c, Observables: obs, Opts: ro})
+	if err != nil {
+		return nil, err
+	}
+	return res.ExpVals, nil
+}
+
+// Counts is the sampling entry point: it merges measured bitstring counts
+// across the twirl instances, preserving the full shot budget.
+func (e *Executor) Counts(ctx context.Context, c *circuit.Circuit, ro RunOptions) (sim.Result, error) {
+	res, err := e.Run(ctx, Job{Circuit: c, Opts: ro})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Result{Counts: res.Counts, Shots: res.Shots}, nil
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"unicode/utf8"
 )
 
 // Series is one labeled curve.
@@ -94,11 +95,14 @@ func (f Figure) Render() string {
 	return b.String()
 }
 
+// trunc shortens a label to at most w runes, rune-safe: slicing by bytes
+// could split a multi-byte rune in a series label.
 func trunc(s string, w int) string {
-	if len(s) <= w {
+	if utf8.RuneCountInString(s) <= w {
 		return s
 	}
-	return s[:w-1] + "…"
+	runes := []rune(s)
+	return string(runes[:w-1]) + "…"
 }
 
 // Options control experiment cost and reproducibility.
@@ -107,6 +111,7 @@ type Options struct {
 	Shots     int // trajectory budget per data point
 	Instances int // twirl instances per data point
 	MaxDepth  int // depth sweep limit
+	Workers   int // concurrent twirl instances per point; 0 = GOMAXPROCS
 	Fast      bool
 }
 

@@ -3,6 +3,7 @@ package experiments
 import (
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func fastOpts() Options {
@@ -115,5 +116,45 @@ func TestFig3cOrdering(t *testing.T) {
 	}
 	if last["staggered"] < last["noisy"]+0.1 || last["ca-ec"] < last["noisy"]+0.1 {
 		t.Errorf("suppression should clearly beat bare: %v", last)
+	}
+}
+
+// TestTruncRuneSafe pins the UTF-8 fix: byte-slicing a multi-byte label
+// could split a rune and emit invalid UTF-8.
+func TestTruncRuneSafe(t *testing.T) {
+	cases := []struct {
+		in   string
+		w    int
+		want string
+	}{
+		{"short", 12, "short"},
+		{"exactly-12ch", 12, "exactly-12ch"},
+		{"this-is-a-long-label", 12, "this-is-a-l…"},
+		{"καδδ-στρατηγική", 12, "καδδ-στρατη…"},
+		{"héisenberg-ring", 12, "héisenberg-…"},
+		{"ΔΔ…ΔΔ", 12, "ΔΔ…ΔΔ"},
+	}
+	for _, c := range cases {
+		got := trunc(c.in, c.w)
+		if got != c.want {
+			t.Errorf("trunc(%q, %d) = %q, want %q", c.in, c.w, got, c.want)
+		}
+		if !utf8.ValidString(got) {
+			t.Errorf("trunc(%q, %d) produced invalid UTF-8 %q", c.in, c.w, got)
+		}
+		if n := utf8.RuneCountInString(got); n > c.w {
+			t.Errorf("trunc(%q, %d) has %d runes", c.in, c.w, n)
+		}
+	}
+}
+
+// TestRenderAlignsWideLabels renders a figure whose series labels contain
+// multi-byte runes; the output must stay valid UTF-8.
+func TestRenderAlignsWideLabels(t *testing.T) {
+	fig := Figure{ID: "utf8", Title: "labels", XLabel: "x"}
+	fig.AddSeries("στρατηγική-με-μακρύ-όνομα", []float64{1, 2}, []float64{0.5, 0.25})
+	out := fig.Render()
+	if !utf8.ValidString(out) {
+		t.Error("render produced invalid UTF-8")
 	}
 }

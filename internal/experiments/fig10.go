@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
-	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/expval"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -24,19 +26,20 @@ func Fig10Combined(opts Options) (Figure, error) {
 	devOpts.QuasistaticSigma = 14e3
 	dev := models.CombinedDevice(devOpts)
 
-	strategies := []core.Strategy{core.Twirled(), core.CADD(), core.CAEC(), core.Combined()}
+	pipelines := []pass.Pipeline{pass.Twirled(), pass.CADD(), pass.CAEC(), pass.Combined()}
 	depths := opts.depths([]int{1, 2, 3, 4, 5, 6})
-	for _, st := range strategies {
+	for _, pl := range pipelines {
+		ex := exec.New(dev, pl)
 		var xs, ys []float64
 		for _, d := range depths {
 			c := models.BuildCombinedFloquet(d)
-			comp := core.New(dev, st, opts.Seed+int64(d))
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots * 2
 			cfg.Seed = opts.Seed + int64(d)*31
-			res, err := comp.Counts(c, core.RunOptions{Instances: opts.Instances, Cfg: cfg})
+			res, err := ex.Counts(context.Background(), c,
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg})
 			if err != nil {
-				return fig, fmt.Errorf("fig10/%s: %w", st.Name, err)
+				return fig, fmt.Errorf("fig10/%s: %w", pl.Name, err)
 			}
 			p, err := expval.CorrectReadout(res, []int{0, 1}, "00",
 				[]float64{dev.ReadoutErr[1], dev.ReadoutErr[2]})
@@ -46,7 +49,7 @@ func Fig10Combined(opts Options) (Figure, error) {
 			xs = append(xs, float64(d))
 			ys = append(ys, p)
 		}
-		fig.AddSeries(st.Name, xs, ys)
+		fig.AddSeries(pl.Name, xs, ys)
 	}
 	fig.Notef("per step: two identical {ECR(1,0), ECR(2,3)} layers (ctrl-ctrl ZZ on (1,2); qubits 4,5 idle) then two {ECR(5,4)} layers (chain 0-3 idle)")
 	fig.Notef("quasi-static sigma = %.0f kHz: suppressed by DD, invisible to EC — hence the combined win", devOpts.QuasistaticSigma/1e3)

@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casq/internal/caec"
-	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -23,18 +25,16 @@ type ramseyStrategy struct {
 // |+>, paper Fig. 3b).
 func ramseyFidelity(dev *device.Device, rc models.RamseyCase, st ramseyStrategy, d int, opts Options) (float64, error) {
 	spec := models.BuildRamsey(rc, d, 500)
-	strategy := core.Strategy{Name: st.label}
+	passes := []pass.Pass{pass.Schedule()}
 	if st.dd != dd.None {
 		o := dd.DefaultOptions()
 		o.Strategy = st.dd
-		strategy.DD = st.dd
-		strategy.DDOpts = o
+		passes = append(passes, pass.DD(o))
 	}
 	if st.ec {
-		strategy.EC = true
-		strategy.ECOpts = caec.DefaultOptions()
+		passes = append(passes, pass.EC(caec.DefaultOptions()))
 	}
-	comp := core.New(dev, strategy, opts.Seed+int64(d))
+	ex := exec.New(dev, pass.New(st.label, passes...))
 	obs := make([]sim.ObsSpec, len(spec.Probes))
 	for i, q := range spec.Probes {
 		obs[i] = sim.ObsSpec{q: 'X'}
@@ -43,7 +43,8 @@ func ramseyFidelity(dev *device.Device, rc models.RamseyCase, st ramseyStrategy,
 	cfg.Shots = opts.Shots
 	cfg.Seed = opts.Seed + int64(d)*7
 	cfg.EnableReadoutErr = false // Ramsey plots are readout-corrected
-	vals, err := comp.Expectations(spec.Circuit, obs, core.RunOptions{Instances: 1, Cfg: cfg})
+	vals, err := ex.Expectations(context.Background(), spec.Circuit, obs,
+		exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg})
 	if err != nil {
 		return 0, err
 	}

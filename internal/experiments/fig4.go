@@ -1,15 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"casq/internal/circuit"
-	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/fitting"
 	"casq/internal/gates"
+	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/sim"
 )
@@ -170,20 +172,20 @@ func Fig4cNNN(opts Options) (Figure, error) {
 					l.Add(circuit.Instruction{Gate: gates.Delay, Qubits: []int{q}, Params: []float64{500}})
 				}
 			}
-			strategy := core.Strategy{Name: st.label}
+			passes := []pass.Pass{pass.Schedule()}
 			if st.dd != dd.None {
 				o := dd.DefaultOptions()
 				o.Strategy = st.dd
-				strategy.DD = st.dd
-				strategy.DDOpts = o
+				passes = append(passes, pass.DD(o))
 			}
-			comp := core.New(dev, strategy, opts.Seed)
+			ex := exec.New(dev, pass.New(st.label, passes...))
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots / 2
 			cfg.Seed = opts.Seed + int64(d)
 			cfg.EnableReadoutErr = false
-			vals, err := comp.Expectations(c, []sim.ObsSpec{{0: 'X'}, {1: 'X'}, {2: 'X'}},
-				core.RunOptions{Instances: 1, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c,
+				[]sim.ObsSpec{{0: 'X'}, {1: 'X'}, {2: 'X'}},
+				exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed, Cfg: cfg})
 			if err != nil {
 				return fig, fmt.Errorf("fig4c/%s: %w", st.label, err)
 			}

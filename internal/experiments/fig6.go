@@ -1,11 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -37,24 +40,25 @@ func Fig6Ising(opts Options) (Figure, error) {
 	}
 	fig.AddSeries("ideal", ix, iy)
 
-	strategies := []core.Strategy{core.Twirled(), core.CAEC(), core.CADD()}
-	for _, st := range strategies {
+	pipelines := []pass.Pipeline{pass.Twirled(), pass.CAEC(), pass.CADD()}
+	for _, pl := range pipelines {
+		ex := exec.New(dev, pl)
 		var xs, ys []float64
 		for _, d := range depths {
 			c := models.BuildFloquetIsing(n, d)
-			comp := core.New(dev, st, opts.Seed+int64(d))
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots
 			cfg.Seed = opts.Seed + int64(d)*17
 			cfg.EnableReadoutErr = false
-			vals, err := comp.Expectations(c, obs, core.RunOptions{Instances: opts.Instances, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c, obs,
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg})
 			if err != nil {
-				return fig, fmt.Errorf("fig6/%s: %w", st.Name, err)
+				return fig, fmt.Errorf("fig6/%s: %w", pl.Name, err)
 			}
 			xs = append(xs, float64(d))
 			ys = append(ys, vals[0])
 		}
-		fig.AddSeries(st.Name, xs, ys)
+		fig.AddSeries(pl.Name, xs, ys)
 	}
 	fig.Notef("6-qubit chain on %s; boundary qubits idle during odd-even ECR layers (paper Fig. 6b red markers)", dev.Name)
 	return fig, nil

@@ -1,20 +1,23 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/fitting"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
-// fig7Strategies are the Heisenberg-ring comparison set of paper Fig. 7c:
+// fig7Pipelines are the Heisenberg-ring comparison set of paper Fig. 7c:
 // no suppression (twirl only), context-unaware DD, CA-DD, and CA-EC.
-func fig7Strategies() []core.Strategy {
-	return []core.Strategy{core.Twirled(), core.WithDD(dd.Aligned), core.CADD(), core.CAEC()}
+func fig7Pipelines() []pass.Pipeline {
+	return []pass.Pipeline{pass.Twirled(), pass.WithDD(dd.Aligned), pass.CADD(), pass.CAEC()}
 }
 
 // Fig7cHeisenberg reproduces paper Fig. 7c: first-order Trotter dynamics of
@@ -53,23 +56,24 @@ func Fig7cHeisenberg(opts Options) (Figure, error) {
 	}
 	fig.AddSeries("ideal", ix, iy)
 
-	for _, st := range fig7Strategies() {
+	for _, pl := range fig7Pipelines() {
+		ex := exec.New(dev, pl)
 		var xs, ys []float64
 		for _, d := range depths {
 			c := models.BuildHeisenbergRing(n, d, params)
-			comp := core.New(dev, st, opts.Seed+int64(d))
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots
 			cfg.Seed = opts.Seed + int64(d)*23
 			cfg.EnableReadoutErr = false
-			vals, err := comp.Expectations(c, obs, core.RunOptions{Instances: opts.Instances, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c, obs,
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg})
 			if err != nil {
-				return fig, fmt.Errorf("fig7c/%s: %w", st.Name, err)
+				return fig, fmt.Errorf("fig7c/%s: %w", pl.Name, err)
 			}
 			xs = append(xs, float64(d))
 			ys = append(ys, vals[0])
 		}
-		fig.AddSeries(st.Name, xs, ys)
+		fig.AddSeries(pl.Name, xs, ys)
 	}
 	fig.Notef("%d-spin ring, J=(%.1f,%.1f,%.1f), dt=%.2f; one initial excitation on q0", n, params.Jx, params.Jy, params.Jz, params.Dt)
 	return fig, nil

@@ -37,6 +37,7 @@ func Fig8LayerFidelity(opts Options) (Figure, error) {
 	lfOpts := layerfid.DefaultOptions()
 	lfOpts.Seed = opts.Seed
 	lfOpts.Instances = opts.Instances
+	lfOpts.Workers = opts.Workers
 	lfOpts.Shots = max(8, opts.Shots/4)
 	if opts.Fast {
 		lfOpts.Depths = []int{1, 2, 4}

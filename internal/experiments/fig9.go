@@ -1,13 +1,15 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"casq/internal/caec"
-	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/expval"
 	"casq/internal/models"
+	"casq/internal/pass"
 	"casq/internal/sim"
 )
 
@@ -29,13 +31,14 @@ func Fig9Dynamic(opts Options) (Figure, error) {
 	dev := device.NewLine("dynamic", 3, devOpts)
 	trueFF := dev.DurFF
 
-	bellFidelity := func(st core.Strategy, seedOff int64) (float64, error) {
+	bellFidelity := func(pl pass.Pipeline, seedOff int64) (float64, error) {
 		c := models.BuildDynamicBell(trueFF)
-		comp := core.New(dev, st, opts.Seed+seedOff)
+		ex := exec.New(dev, pl)
 		cfg := sim.DefaultConfig()
 		cfg.Shots = opts.Shots * 4
 		cfg.Seed = opts.Seed + seedOff
-		res, err := comp.Counts(c, core.RunOptions{Instances: 1, Cfg: cfg})
+		res, err := ex.Counts(context.Background(), c,
+			exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + seedOff, Cfg: cfg})
 		if err != nil {
 			return 0, err
 		}
@@ -49,7 +52,7 @@ func Fig9Dynamic(opts Options) (Figure, error) {
 		return p, nil
 	}
 
-	bare, err := bellFidelity(core.Strategy{Name: "bare"}, 1)
+	bare, err := bellFidelity(pass.Bare(), 1)
 	if err != nil {
 		return fig, err
 	}
@@ -62,9 +65,10 @@ func Fig9Dynamic(opts Options) (Figure, error) {
 	var xs, ys []float64
 	best, bestTau := 0.0, 0.0
 	for i, tau := range taus {
-		st := core.Strategy{Name: "ca-ec", EC: true, ECOpts: caec.DefaultOptions()}
-		st.ECOpts.FFTime = tau
-		f, err := bellFidelity(st, int64(100+i))
+		ecOpts := caec.DefaultOptions()
+		ecOpts.FFTime = tau
+		pl := pass.New("ca-ec", pass.Schedule(), pass.EC(ecOpts))
+		f, err := bellFidelity(pl, int64(100+i))
 		if err != nil {
 			return fig, fmt.Errorf("fig9 tau=%.0f: %w", tau, err)
 		}

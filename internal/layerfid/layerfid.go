@@ -10,6 +10,7 @@
 package layerfid
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -17,6 +18,7 @@ import (
 	"casq/internal/circuit"
 	"casq/internal/core"
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/fitting"
 	"casq/internal/models"
 	"casq/internal/pauli"
@@ -94,6 +96,7 @@ type Result struct {
 type Options struct {
 	Depths    []int
 	Instances int // twirl instances per circuit
+	Workers   int // concurrent twirl instances; 0 = GOMAXPROCS
 	Shots     int
 	Seed      int64
 	// PauliRounds bounds how many basis Paulis are measured per partition
@@ -223,12 +226,13 @@ func Measure(dev *device.Device, layer *circuit.Layer, strategy core.Strategy, o
 					signs[i] = 1
 				}
 			}
-			comp := core.New(dev, strategy, opts.Seed+int64(round*1000+d))
+			ex := exec.New(dev, strategy.Pipeline())
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots
 			cfg.Seed = opts.Seed + int64(round*7919+d*13)
 			cfg.EnableReadoutErr = false // expectations are readout-corrected
-			vals, err := comp.Expectations(c, obs, core.RunOptions{Instances: opts.Instances, Cfg: cfg})
+			vals, err := ex.Expectations(context.Background(), c, obs,
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(round*1000+d), Cfg: cfg})
 			if err != nil {
 				return Result{}, err
 			}
