@@ -93,10 +93,11 @@ func BenchmarkCompileCAEC(b *testing.B) {
 	}
 }
 
-// Executor benchmarks: the same twirl-averaged job run serially (one
-// worker, the pre-redesign execution model) and fanned out across
-// GOMAXPROCS workers. The simulator's own shot-level parallelism is pinned
-// to one thread in both so the comparison isolates instance-level fan-out.
+// Executor benchmarks: the same twirl-averaged job run serially (Workers=1
+// is a fully serial budget under the unified worker-budget model) and
+// fanned out across GOMAXPROCS. The simulator's own shot-level parallelism
+// is pinned to one thread in both so the comparison isolates
+// instance-level fan-out.
 
 func benchExecutorJob() (*exec.Executor, exec.Job) {
 	dev, c := benchWorkload()
@@ -219,7 +220,9 @@ func BenchmarkAblationECMiscalibration(b *testing.B) {
 	opts.DeltaMax = 0
 	opts.QuasistaticSigma = 0
 	opts.Err1Q, opts.Err2Q, opts.ReadoutErr = 0, 0, 0
-	opts.T1Min, opts.T1Max, opts.T2Factor = 1e12, 1e12, 2
+	// T1 = 0 now simply disables relaxation (the old T1Min=1e12 workaround
+	// papered over a divide-by-zero in the pure-dephasing rate).
+	opts.T1Min, opts.T1Max = 0, 0
 	opts.RotaryResidual = 0
 	truth := device.NewLine("truth", 4, opts)
 	for i := 0; i < b.N; i++ {

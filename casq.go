@@ -15,7 +15,11 @@
 //   - a concurrent executor: NewExecutor fans the twirl instances of a job
 //     out across a worker pool with per-instance derived seeds and
 //     aggregates in instance order, so results are bit-identical for any
-//     worker count and the full shot budget is preserved.
+//     worker count and the full shot budget is preserved. The
+//     ExecOptions.Workers budget is shared between instance-level fan-out
+//     and the simulator's shot-level fan-out (a single-instance job
+//     parallelizes over shots instead of running serially; see DESIGN.md,
+//     "Unified worker budget").
 //
 // A minimal end-to-end run:
 //

@@ -122,7 +122,11 @@ func TestFacadeCompatSemantics(t *testing.T) {
 
 	cfg := casq.DefaultSimConfig()
 	cfg.Shots = 48
-	obs := []casq.Observable{{0: 'X'}}
+	// <Z2> on a gate qubit is genuinely twirl-sensitive: different Pauli
+	// frames change the sampled trajectories, not just last-ulp rounding.
+	// (<X0> on the idle spectator is exactly twirl-symmetric under the
+	// fused diagonal kernel, so it no longer distinguishes instances.)
+	obs := []casq.Observable{{2: 'Z'}}
 	ro := casq.RunOptions{Instances: 3, Cfg: cfg}
 	run := func(comp *casq.Compiler) float64 {
 		t.Helper()

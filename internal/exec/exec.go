@@ -27,9 +27,13 @@ import (
 type RunOptions struct {
 	// Instances is the number of twirl instances to average over (min 1).
 	Instances int
-	// Workers bounds the number of instances compiled/simulated
-	// concurrently; 0 means GOMAXPROCS. Results are identical for any
-	// value.
+	// Workers is the total parallelism budget of the job; 0 means
+	// GOMAXPROCS. The budget is split between instance-level fan-out and
+	// shot-level fan-out inside each simulator (see workerBudget): a
+	// many-instance job parallelizes over instances with serial simulators,
+	// while a single-instance job hands the whole budget to the
+	// simulator's shot loop. An explicit Cfg.Workers overrides the
+	// simulator share. Results are identical for any value.
 	Workers int
 	// Seed derives each instance's compilation RNG. Two runs with the
 	// same seed produce identical results.
@@ -102,6 +106,36 @@ func InstanceSeed(seed int64, k int) int64 {
 	return int64(splitmix64(uint64(seed) + uint64(k)*0x9e3779b97f4a7c15))
 }
 
+// workerBudget splits one parallelism budget between the two fan-out
+// levels: `inst` instance workers run concurrently, and each runs its
+// simulator with `sim` shot workers. The split covers the whole spectrum
+// without oversubscription — instances >= budget gives serial simulators,
+// a single instance gives full shot-level fan-out, and anything between
+// divides the budget (inst * sim <= budget always). Before this model,
+// Workers=0 multiplied GOMAXPROCS instance workers by GOMAXPROCS simulator
+// workers, oversubscribing quadratically.
+func workerBudget(requested, instances, gomax int) (inst, sim int) {
+	budget := requested
+	if budget <= 0 {
+		budget = gomax
+	}
+	if budget < 1 {
+		budget = 1
+	}
+	if instances < 1 {
+		instances = 1
+	}
+	inst = budget
+	if inst > instances {
+		inst = instances
+	}
+	sim = budget / inst
+	if sim < 1 {
+		sim = 1
+	}
+	return inst, sim
+}
+
 // Run executes the job: Opts.Instances independent twirl instances, fanned
 // out over the worker pool, aggregated in instance order. It honors ctx
 // cancellation between instances.
@@ -119,13 +153,7 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 	}
 	perInst, rem := shots/ro.Instances, shots%ro.Instances
 
-	workers := ro.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > ro.Instances {
-		workers = ro.Instances
-	}
+	workers, simWorkers := workerBudget(ro.Workers, ro.Instances, runtime.GOMAXPROCS(0))
 
 	runInstance := func(k int) (instanceOut, error) {
 		rng := rand.New(rand.NewSource(InstanceSeed(ro.Seed, k)))
@@ -134,13 +162,11 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
 		}
 		cfg := ro.Cfg
-		if workers > 1 && cfg.Workers <= 0 {
-			// Instance-level fan-out already saturates the cores; letting
-			// each simulator also default to GOMAXPROCS shot workers would
-			// oversubscribe quadratically. An explicit Cfg.Workers is
-			// respected. Simulator results do not depend on its worker
-			// count, so this cannot change the output.
-			cfg.Workers = 1
+		if cfg.Workers <= 0 {
+			// Hand each simulator its share of the unified budget. An
+			// explicit Cfg.Workers is respected. Simulator results do not
+			// depend on its worker count, so this cannot change the output.
+			cfg.Workers = simWorkers
 		}
 		cfg.Shots = perInst
 		if k < rem {

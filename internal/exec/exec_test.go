@@ -176,6 +176,41 @@ func TestRunReportsPerInstance(t *testing.T) {
 	}
 }
 
+// TestWorkerBudget pins the unified parallelism split: instance workers
+// times per-instance sim workers never exceeds the budget, many instances
+// get serial simulators, and a single instance hands the whole budget to
+// shot-level fan-out (the pre-overhaul default multiplied GOMAXPROCS
+// instance workers by GOMAXPROCS sim workers).
+func TestWorkerBudget(t *testing.T) {
+	for _, tc := range []struct {
+		requested, instances, gomax int
+		wantInst, wantSim           int
+	}{
+		{0, 12, 8, 8, 1},  // many instances: saturate with instances, serial sim
+		{0, 1, 8, 1, 8},   // single job: full shot-level fan-out
+		{0, 2, 8, 2, 4},   // split budget between levels
+		{0, 3, 8, 3, 2},   // uneven split rounds down (3*2 <= 8)
+		{1, 64, 32, 1, 1}, // explicit serial stays fully serial
+		{4, 2, 32, 2, 2},  // explicit budget overrides GOMAXPROCS
+		{0, 8, 1, 1, 1},   // single-core box
+		{5, 0, 8, 1, 5},   // instances clamped to >= 1
+	} {
+		inst, sim := workerBudget(tc.requested, tc.instances, tc.gomax)
+		if inst != tc.wantInst || sim != tc.wantSim {
+			t.Errorf("workerBudget(%d, %d, %d) = (%d, %d), want (%d, %d)",
+				tc.requested, tc.instances, tc.gomax, inst, sim, tc.wantInst, tc.wantSim)
+		}
+		budget := tc.requested
+		if budget <= 0 {
+			budget = tc.gomax
+		}
+		if inst*sim > budget {
+			t.Errorf("workerBudget(%d, %d, %d): %d*%d oversubscribes budget %d",
+				tc.requested, tc.instances, tc.gomax, inst, sim, budget)
+		}
+	}
+}
+
 func TestInstanceSeedsDiffer(t *testing.T) {
 	seen := map[int64]bool{}
 	for k := 0; k < 64; k++ {

@@ -277,7 +277,9 @@ func FidelityPure(a, b Vector) float64 {
 	return real(ip)*real(ip) + imag(ip)*imag(ip)
 }
 
-// Apply1Q applies the 2x2 unitary u to qubit q of v in place.
+// Apply1Q applies the 2x2 unitary u to qubit q of v in place. The kernel is
+// strided: it visits exactly the 2^(n-1) base indices with bit q clear, in
+// blocks of 2^q contiguous entries, instead of skip-scanning all 2^n.
 func (v Vector) Apply1Q(u Matrix, q int) {
 	if u.N != 2 {
 		panic("linalg: Apply1Q needs a 2x2 matrix")
@@ -285,19 +287,20 @@ func (v Vector) Apply1Q(u Matrix, q int) {
 	bit := 1 << q
 	u00, u01 := u.Data[0], u.Data[1]
 	u10, u11 := u.Data[2], u.Data[3]
-	for i := 0; i < len(v); i++ {
-		if i&bit != 0 {
-			continue
+	for base := 0; base < len(v); base += bit << 1 {
+		for i := base; i < base+bit; i++ {
+			j := i | bit
+			a0, a1 := v[i], v[j]
+			v[i] = u00*a0 + u01*a1
+			v[j] = u10*a0 + u11*a1
 		}
-		j := i | bit
-		a0, a1 := v[i], v[j]
-		v[i] = u00*a0 + u01*a1
-		v[j] = u10*a0 + u11*a1
 	}
 }
 
 // Apply2Q applies the 4x4 unitary u to qubits (q1, q0) of v in place, where
-// q0 indexes the least-significant bit of the 4x4 basis {|q1 q0>}.
+// q0 indexes the least-significant bit of the 4x4 basis {|q1 q0>}. The
+// kernel visits exactly the 2^(n-2) base indices with both qubit bits
+// clear, striding over the high and low bit positions.
 func (v Vector) Apply2Q(u Matrix, q1, q0 int) {
 	if u.N != 4 {
 		panic("linalg: Apply2Q needs a 4x4 matrix")
@@ -307,19 +310,27 @@ func (v Vector) Apply2Q(u Matrix, q1, q0 int) {
 	}
 	b0 := 1 << q0
 	b1 := 1 << q1
-	for i := 0; i < len(v); i++ {
-		if i&b0 != 0 || i&b1 != 0 {
-			continue
+	lo, hi := b0, b1
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	u00, u01, u02, u03 := u.Data[0], u.Data[1], u.Data[2], u.Data[3]
+	u10, u11, u12, u13 := u.Data[4], u.Data[5], u.Data[6], u.Data[7]
+	u20, u21, u22, u23 := u.Data[8], u.Data[9], u.Data[10], u.Data[11]
+	u30, u31, u32, u33 := u.Data[12], u.Data[13], u.Data[14], u.Data[15]
+	for outer := 0; outer < len(v); outer += hi << 1 {
+		for inner := outer; inner < outer+hi; inner += lo << 1 {
+			for i00 := inner; i00 < inner+lo; i00++ {
+				i01 := i00 | b0
+				i10 := i00 | b1
+				i11 := i01 | b1
+				a0, a1, a2, a3 := v[i00], v[i01], v[i10], v[i11]
+				v[i00] = u00*a0 + u01*a1 + u02*a2 + u03*a3
+				v[i01] = u10*a0 + u11*a1 + u12*a2 + u13*a3
+				v[i10] = u20*a0 + u21*a1 + u22*a2 + u23*a3
+				v[i11] = u30*a0 + u31*a1 + u32*a2 + u33*a3
+			}
 		}
-		i00 := i
-		i01 := i | b0
-		i10 := i | b1
-		i11 := i | b0 | b1
-		a0, a1, a2, a3 := v[i00], v[i01], v[i10], v[i11]
-		v[i00] = u.Data[0]*a0 + u.Data[1]*a1 + u.Data[2]*a2 + u.Data[3]*a3
-		v[i01] = u.Data[4]*a0 + u.Data[5]*a1 + u.Data[6]*a2 + u.Data[7]*a3
-		v[i10] = u.Data[8]*a0 + u.Data[9]*a1 + u.Data[10]*a2 + u.Data[11]*a3
-		v[i11] = u.Data[12]*a0 + u.Data[13]*a1 + u.Data[14]*a2 + u.Data[15]*a3
 	}
 }
 

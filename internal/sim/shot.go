@@ -2,20 +2,24 @@ package sim
 
 import (
 	"math"
-	"math/cmplx"
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"casq/internal/linalg"
 )
 
 // shot holds per-trajectory state: the statevector, classical bits, the
 // diagonal coherent-phase accumulator, and the per-shot random frequency
-// offsets (charge parity, quasi-static detuning).
+// offsets (charge parity, quasi-static detuning). One shot value is reused
+// across every trajectory a worker runs: reset re-seeds the RNG and clears
+// the state in place, so the steady-state shot loop performs no heap
+// allocations.
 type shot struct {
 	r   *Runner
 	cp  *compiled
+	src rand.Source
 	rng *rand.Rand
 
 	psi   linalg.Vector
@@ -25,19 +29,64 @@ type shot struct {
 	phiZZ []float64 // pending Rzz angle per edge index
 
 	omegaExtra []float64 // rad/ns per qubit: parity + quasistatic
+
+	// Flush scratch, reused across applyDiagonal calls: per staged term the
+	// basis mask(s) and the precomputed half-angle phase factors for even
+	// (e^{-i phi/2}) and odd (e^{+i phi/2}) Z parity.
+	zMasks        []int
+	zEven, zOdd   []complex128
+	zzMasksA      []int
+	zzMasksB      []int
+	zzEven, zzOdd []complex128
+	obsScratchVec linalg.Vector // lazily sized observable scratch
 }
 
-func (r *Runner) newShot(cp *compiled, seed int64) *shot {
+// newShot allocates a shot's buffers once. It must be paired with reset
+// before the first trajectory runs.
+func (r *Runner) newShot(cp *compiled) *shot {
+	src := rand.NewSource(0)
 	s := &shot{
 		r:          r,
 		cp:         cp,
-		rng:        rand.New(rand.NewSource(seed)),
+		src:        src,
+		rng:        rand.New(src),
 		psi:        linalg.NewVector(cp.nq),
 		cbits:      make([]int, cp.ncb),
 		phiZ:       make([]float64, cp.nq),
 		phiZZ:      make([]float64, len(cp.edges)),
 		omegaExtra: make([]float64, cp.nq),
+		zMasks:     make([]int, 0, cp.nq),
+		zEven:      make([]complex128, 0, cp.nq),
+		zOdd:       make([]complex128, 0, cp.nq),
+		zzMasksA:   make([]int, 0, len(cp.edges)),
+		zzMasksB:   make([]int, 0, len(cp.edges)),
+		zzEven:     make([]complex128, 0, len(cp.edges)),
+		zzOdd:      make([]complex128, 0, len(cp.edges)),
 	}
+	return s
+}
+
+// reset prepares the shot for a new trajectory: re-seed the RNG (the stream
+// is identical to a freshly constructed rand.New(rand.NewSource(seed))),
+// restore |0...0>, clear classical bits and accumulators, and redraw the
+// per-shot frequency offsets in the same RNG order as before the reuse
+// optimization, so trajectories are bit-identical to per-shot allocation.
+func (s *shot) reset(seed int64) {
+	s.src.Seed(seed)
+	for i := range s.psi {
+		s.psi[i] = 0
+	}
+	s.psi[0] = 1
+	for i := range s.cbits {
+		s.cbits[i] = 0
+	}
+	for i := range s.phiZ {
+		s.phiZ[i] = 0
+	}
+	for i := range s.phiZZ {
+		s.phiZZ[i] = 0
+	}
+	r, cp := s.r, s.cp
 	for q := 0; q < cp.nq; q++ {
 		w := 0.0
 		if r.Cfg.EnableParity {
@@ -52,16 +101,37 @@ func (r *Runner) newShot(cp *compiled, seed int64) *shot {
 		}
 		s.omegaExtra[q] = w
 	}
-	return s
+}
+
+// obsScratch returns the shot's observable-evaluation scratch vector,
+// allocating it on first use (Counts runs never pay for it).
+func (s *shot) obsScratch() linalg.Vector {
+	if s.obsScratchVec == nil {
+		s.obsScratchVec = make(linalg.Vector, len(s.psi))
+	}
+	return s.obsScratchVec
+}
+
+// numShots returns the effective shot count (at least 1).
+func (r *Runner) numShots() int {
+	if r.Cfg.Shots <= 0 {
+		return 1
+	}
+	return r.Cfg.Shots
+}
+
+// shotSeed derives the deterministic seed of shot i.
+func (r *Runner) shotSeed(i int) int64 {
+	return r.Cfg.Seed*1000003 + int64(i)*7919 + 13
 }
 
 // forEachShot runs fn for every shot index, parallelized over workers, with
-// deterministic per-shot seeding independent of scheduling.
+// deterministic per-shot seeding independent of scheduling. Each worker
+// owns exactly one shot value for its whole lifetime and claims indices
+// from an atomic counter; with one worker the loop runs inline with no
+// goroutines or channels at all.
 func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
-	shots := r.Cfg.Shots
-	if shots <= 0 {
-		shots = 1
-	}
+	shots := r.numShots()
 	workers := r.Cfg.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,18 +139,27 @@ func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
 	if workers > shots {
 		workers = shots
 	}
-	var wg sync.WaitGroup
-	next := make(chan int, shots)
-	for i := 0; i < shots; i++ {
-		next <- i
+	if workers == 1 {
+		s := r.newShot(cp)
+		for i := 0; i < shots; i++ {
+			s.reset(r.shotSeed(i))
+			fn(i, s)
+		}
+		return
 	}
-	close(next)
+	var next atomic.Int64
+	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				s := r.newShot(cp, r.Cfg.Seed*1000003+int64(i)*7919+13)
+			s := r.newShot(cp)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= shots {
+					return
+				}
+				s.reset(r.shotSeed(i))
 				fn(i, s)
 			}
 		}()
@@ -213,85 +292,110 @@ func (s *shot) flipAccumulator(q int) {
 	}
 }
 
-// flushQubit applies (and clears) every pending phase term involving q.
-func (s *shot) flushQubit(q int) {
-	var zTerms []int
-	var zAngles []float64
-	if s.phiZ[q] != 0 {
-		zTerms = append(zTerms, 1<<q)
-		zAngles = append(zAngles, s.phiZ[q])
-		s.phiZ[q] = 0
-	}
-	var zzMasksA, zzMasksB []int
-	var zzAngles []float64
-	for _, ei := range s.cp.qEdges[q] {
-		if s.phiZZ[ei] != 0 {
-			e := s.cp.edges[ei]
-			zzMasksA = append(zzMasksA, 1<<e.A)
-			zzMasksB = append(zzMasksB, 1<<e.B)
-			zzAngles = append(zzAngles, s.phiZZ[ei])
-			s.phiZZ[ei] = 0
-		}
-	}
-	if len(zTerms) == 0 && len(zzAngles) == 0 {
+// stageZ moves the pending Z angle of q (if any) into the flush scratch,
+// precomputing its half-angle phase factors.
+func (s *shot) stageZ(q int) {
+	phi := s.phiZ[q]
+	if phi == 0 {
 		return
 	}
-	s.applyDiagonal(zTerms, zAngles, zzMasksA, zzMasksB, zzAngles)
+	s.phiZ[q] = 0
+	sin, cos := math.Sincos(phi / 2)
+	s.zMasks = append(s.zMasks, 1<<q)
+	s.zEven = append(s.zEven, complex(cos, -sin))
+	s.zOdd = append(s.zOdd, complex(cos, sin))
+}
+
+// stageZZ moves the pending ZZ angle of edge ei (if any) into the flush
+// scratch.
+func (s *shot) stageZZ(ei int) {
+	phi := s.phiZZ[ei]
+	if phi == 0 {
+		return
+	}
+	s.phiZZ[ei] = 0
+	e := s.cp.edges[ei]
+	sin, cos := math.Sincos(phi / 2)
+	s.zzMasksA = append(s.zzMasksA, 1<<e.A)
+	s.zzMasksB = append(s.zzMasksB, 1<<e.B)
+	s.zzEven = append(s.zzEven, complex(cos, -sin))
+	s.zzOdd = append(s.zzOdd, complex(cos, sin))
+}
+
+// flushQubit applies (and clears) every pending phase term involving q.
+func (s *shot) flushQubit(q int) {
+	s.clearStage()
+	s.stageZ(q)
+	for _, ei := range s.cp.qEdges[q] {
+		s.stageZZ(ei)
+	}
+	s.applyStaged()
 }
 
 // flushAll applies and clears the entire accumulator.
 func (s *shot) flushAll() {
-	var zTerms []int
-	var zAngles []float64
+	s.clearStage()
 	for q := 0; q < s.cp.nq; q++ {
-		if s.phiZ[q] != 0 {
-			zTerms = append(zTerms, 1<<q)
-			zAngles = append(zAngles, s.phiZ[q])
-			s.phiZ[q] = 0
-		}
+		s.stageZ(q)
 	}
-	var zzMasksA, zzMasksB []int
-	var zzAngles []float64
-	for ei, phi := range s.phiZZ {
-		if phi != 0 {
-			e := s.cp.edges[ei]
-			zzMasksA = append(zzMasksA, 1<<e.A)
-			zzMasksB = append(zzMasksB, 1<<e.B)
-			zzAngles = append(zzAngles, phi)
-			s.phiZZ[ei] = 0
-		}
+	for ei := range s.phiZZ {
+		s.stageZZ(ei)
 	}
-	if len(zTerms) == 0 && len(zzAngles) == 0 {
-		return
-	}
-	s.applyDiagonal(zTerms, zAngles, zzMasksA, zzMasksB, zzAngles)
+	s.applyStaged()
 }
 
-// applyDiagonal multiplies each amplitude by exp(-i/2 * sum of z-weighted
-// angles), the diagonal unitary of the accumulated Rz/Rzz terms.
-func (s *shot) applyDiagonal(zMasks []int, zAngles []float64, zzA, zzB []int, zzAngles []float64) {
-	n := len(s.psi)
-	for b := 0; b < n; b++ {
-		phase := 0.0
-		for i, m := range zMasks {
+func (s *shot) clearStage() {
+	s.zMasks = s.zMasks[:0]
+	s.zEven = s.zEven[:0]
+	s.zOdd = s.zOdd[:0]
+	s.zzMasksA = s.zzMasksA[:0]
+	s.zzMasksB = s.zzMasksB[:0]
+	s.zzEven = s.zzEven[:0]
+	s.zzOdd = s.zzOdd[:0]
+}
+
+// applyStaged multiplies each amplitude by the staged diagonal unitary
+// exp(-i/2 * sum of z-weighted angles). The per-term phase factors were
+// precomputed by stageZ/stageZZ with a single math.Sincos each, so the
+// per-basis-state work is one complex multiply per staged term — no
+// cmplx.Exp in the 2^n loop.
+func (s *shot) applyStaged() {
+	nz, nzz := len(s.zMasks), len(s.zzMasksA)
+	if nz == 0 && nzz == 0 {
+		return
+	}
+	psi := s.psi
+	// Fast path: a single Z term is by far the most common flush shape
+	// (one qubit flushed before a 1q gate with no pending couplings).
+	if nz == 1 && nzz == 0 {
+		m := s.zMasks[0]
+		fe, fo := s.zEven[0], s.zOdd[0]
+		for b := range psi {
 			if b&m == 0 {
-				phase += zAngles[i]
+				psi[b] *= fe
 			} else {
-				phase -= zAngles[i]
+				psi[b] *= fo
 			}
 		}
-		for i := range zzAngles {
-			za := b&zzA[i] == 0
-			zb := b&zzB[i] == 0
-			if za == zb {
-				phase += zzAngles[i]
+		return
+	}
+	for b := range psi {
+		f := complex(1.0, 0.0)
+		for i := 0; i < nz; i++ {
+			if b&s.zMasks[i] == 0 {
+				f *= s.zEven[i]
 			} else {
-				phase -= zzAngles[i]
+				f *= s.zOdd[i]
 			}
 		}
-		if phase != 0 {
-			s.psi[b] *= cmplx.Exp(complex(0, -phase/2))
+		for i := 0; i < nzz; i++ {
+			if (b&s.zzMasksA[i] == 0) == (b&s.zzMasksB[i] == 0) {
+				f *= s.zzEven[i]
+			} else {
+				f *= s.zzOdd[i]
+			}
 		}
+		psi[b] *= f
 	}
 }
 
@@ -304,14 +408,20 @@ func (s *shot) depolarize1Q(q int, p float64) {
 }
 
 func (s *shot) applyRandomPauli(q int) {
-	switch s.rng.Intn(3) {
-	case 0: // X
+	s.applyPauliCode(q, 1+s.rng.Intn(3))
+}
+
+// applyPauliCode applies the Pauli with code pk (0=I, 1=X, 2=Y, 3=Z) to
+// qubit q, routing Z through the phase accumulator.
+func (s *shot) applyPauliCode(q, pk int) {
+	switch pk {
+	case 1:
 		s.flipAccumulator(q)
 		s.psi.Apply1Q(xMat, q)
-	case 1: // Y
+	case 2:
 		s.flipAccumulator(q)
 		s.psi.Apply1Q(yMat, q)
-	default: // Z
+	case 3:
 		s.phiZ[q] += math.Pi
 	}
 }
@@ -323,25 +433,15 @@ func (s *shot) depolarize2Q(q0, q1 int, p float64) {
 		return
 	}
 	k := 1 + s.rng.Intn(15) // 1..15, base-4 digits (p0, p1)
-	p0, p1 := k%4, k/4
-	apply := func(q, pk int) {
-		switch pk {
-		case 1:
-			s.flipAccumulator(q)
-			s.psi.Apply1Q(xMat, q)
-		case 2:
-			s.flipAccumulator(q)
-			s.psi.Apply1Q(yMat, q)
-		case 3:
-			s.phiZ[q] += math.Pi
-		}
-	}
-	apply(q0, p0)
-	apply(q1, p1)
+	s.applyPauliCode(q0, k%4)
+	s.applyPauliCode(q1, k/4)
 }
 
 // applyRelaxation applies T1 amplitude damping (trajectory unraveling) and
-// pure dephasing for a duration dur (ns) on every qubit.
+// pure dephasing for a duration dur (ns) on every qubit. A non-positive T1
+// disables amplitude damping entirely, and the pure-dephasing rate then
+// reduces to 1/Tphi = 1/T2 (T2-only devices keep their dephasing rather
+// than silently losing it to a 1/(2*T1) division by zero).
 func (s *shot) applyRelaxation(dur float64) {
 	for q := 0; q < s.cp.nq; q++ {
 		t1 := s.r.Dev.T1[q]
@@ -355,12 +455,16 @@ func (s *shot) applyRelaxation(dur float64) {
 				s.jumpDown(q)
 			} else if gamma > 0 {
 				// No-jump back-action: K0 = diag(1, sqrt(1-gamma)).
-				s.damp(q, math.Sqrt(1-gamma))
+				s.dampNoJump(q, gamma, p1)
 			}
 		}
 		if t2 > 0 {
-			// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1).
-			invTphi := 1/t2 - 1/(2*t1)
+			// Pure dephasing rate: 1/Tphi = 1/T2 - 1/(2 T1), with the T1
+			// term absent when damping is disabled.
+			invTphi := 1 / t2
+			if t1 > 0 {
+				invTphi -= 1 / (2 * t1)
+			}
 			if invTphi > 0 {
 				p := (1 - math.Exp(-dur*invTphi)) / 2
 				if s.rng.Float64() < p {
@@ -383,14 +487,38 @@ func (s *shot) jumpDown(q int) {
 	s.psi.Normalize()
 }
 
-func (s *shot) damp(q int, k float64) {
+// dampNoJump applies the no-jump Kraus K0 = diag(1, sqrt(1-gamma)) on q
+// and renormalizes in a single pass: the state enters normalized, so the
+// post-damp norm is sqrt(1 - gamma*p1) analytically, with p1 the excited
+// population already computed for the jump draw. (The separate
+// damp-then-Normalize formulation cost three extra full-vector passes per
+// qubit per layer.)
+func (s *shot) dampNoJump(q int, gamma, p1 float64) {
+	n2 := 1 - gamma*p1
+	if n2 <= 0 {
+		// Fully damped within rounding; the jump branch should have fired.
+		// Fall back to the explicit renormalization.
+		bit := 1 << q
+		k := complex(math.Sqrt(1-gamma), 0)
+		for b := range s.psi {
+			if b&bit != 0 {
+				s.psi[b] *= k
+			}
+		}
+		s.psi.Normalize()
+		return
+	}
+	inv := 1 / math.Sqrt(n2)
+	f0 := complex(inv, 0)
+	f1 := complex(math.Sqrt(1-gamma)*inv, 0)
 	bit := 1 << q
 	for b := range s.psi {
-		if b&bit != 0 {
-			s.psi[b] *= complex(k, 0)
+		if b&bit == 0 {
+			s.psi[b] *= f0
+		} else {
+			s.psi[b] *= f1
 		}
 	}
-	s.psi.Normalize()
 }
 
 // measure projects qubit q, storing the (readout-error-corrupted) outcome in

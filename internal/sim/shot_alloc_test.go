@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"casq/internal/device"
+	"casq/internal/models"
+	"casq/internal/sched"
+)
+
+var allocSink float64
+
+// TestShotLoopZeroAlloc pins the tentpole's allocation contract: after a
+// worker's one-time shot construction (and first-use observable scratch),
+// the steady-state loop — reset, run every layer with all noise channels
+// enabled, flush, evaluate observables — performs zero heap allocations.
+func TestShotLoopZeroAlloc(t *testing.T) {
+	dev := device.NewLine("alloc", 4, device.DefaultOptions())
+	c := models.BuildFloquetIsing(4, 2)
+	sched.Schedule(c, dev)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	r := New(dev, cfg)
+	cp, err := r.compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.newShot(cp)
+	planMixed := ObsSpec{0: 'X', 3: 'X'}.plan()
+	planZ := ObsSpec{1: 'Z'}.plan()
+	// Warm up: first eval sizes the observable scratch.
+	s.reset(r.shotSeed(0))
+	s.run(cp)
+	s.flushAll()
+	allocSink = planMixed.eval(s)
+
+	shotIdx := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		s.reset(r.shotSeed(shotIdx))
+		shotIdx++
+		s.run(cp)
+		s.flushAll()
+		allocSink = planMixed.eval(s)
+		allocSink += planZ.eval(s)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state shot loop allocates %.1f objects per shot, want 0", allocs)
+	}
+}
+
+// TestCountsShotLoopZeroAllocWithMeasurement covers the sampling path:
+// measurement, readout error, and classical bits also stay allocation-free
+// (the bitstring key is built by the caller, outside the shot loop).
+func TestCountsShotLoopZeroAllocWithMeasurement(t *testing.T) {
+	dev := device.NewLine("alloc", 3, device.DefaultOptions())
+	c := models.BuildDynamicBell(100)
+	sched.Schedule(c, dev)
+	cfg := DefaultConfig()
+	cfg.Workers = 1
+	r := New(dev, cfg)
+	cp, err := r.compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.newShot(cp)
+	s.reset(r.shotSeed(0))
+	s.run(cp)
+
+	shotIdx := 0
+	allocs := testing.AllocsPerRun(50, func() {
+		s.reset(r.shotSeed(shotIdx))
+		shotIdx++
+		s.run(cp)
+	})
+	if allocs != 0 {
+		t.Errorf("measurement shot loop allocates %.1f objects per shot, want 0", allocs)
+	}
+}

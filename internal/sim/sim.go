@@ -17,14 +17,24 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"math/bits"
+	"slices"
 	"sort"
+	"sync"
 
 	"casq/internal/circuit"
 	"casq/internal/device"
 	"casq/internal/gates"
 	"casq/internal/linalg"
+)
+
+// Shared parameter slices for the memoized ECR decomposition.
+var (
+	zxPlusQuarter  = []float64{math.Pi / 4}
+	zxMinusQuarter = []float64{-math.Pi / 4}
 )
 
 // Config toggles the noise channels and sets sampling parameters.
@@ -118,6 +128,19 @@ type starkTerm struct {
 type Runner struct {
 	Dev *device.Device
 	Cfg Config
+
+	// Compilation cache: the Runner memoizes the most recent circuit's
+	// compilation, keyed by pointer identity plus content fingerprints of
+	// the circuit and of the compile-relevant device calibration, so
+	// in-place mutation of either between runs is detected. Sweeps that
+	// re-run the same scheduled circuit (every figure in the paper) skip
+	// recompiling per call; the compiled form is immutable during
+	// execution, so cached reuse is safe under concurrent
+	// Counts/Expectations.
+	mu       sync.Mutex
+	cachedC  *circuit.Circuit
+	cachedFP uint64
+	cached   *compiled
 }
 
 // New returns a Runner.
@@ -136,6 +159,151 @@ type compiled struct {
 }
 
 const hzToRadPerNs = 2 * math.Pi * 1e-9
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// deviceFingerprint hashes the device calibration that compile bakes into
+// the compiled form (topology, ZZ rates, Stark terms, gate-error
+// probabilities), so in-place device mutation between runs — the Fig. 8
+// sweep retunes dev.ZZ per point — invalidates the Runner's cache. Map
+// entries are combined commutatively so iteration order cannot matter.
+func deviceFingerprint(d *device.Device) uint64 {
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime
+			v >>= 8
+		}
+	}
+	pair := func(a, b, c uint64) uint64 {
+		x := uint64(fnvOffset)
+		for _, v := range [3]uint64{a, b, c} {
+			for i := 0; i < 8; i++ {
+				x ^= v & 0xff
+				x *= fnvPrime
+				v >>= 8
+			}
+		}
+		return x
+	}
+	mix(uint64(d.NQubits))
+	mix(uint64(len(d.Edges)))
+	mix(uint64(len(d.NNNEdges)))
+	for _, e := range d.Edges {
+		mix(pair(uint64(e.A), uint64(e.B), 0))
+	}
+	for _, e := range d.NNNEdges {
+		mix(pair(uint64(e.A), uint64(e.B), 0))
+	}
+	var acc uint64
+	for e, v := range d.ZZ {
+		acc += pair(uint64(e.A), uint64(e.B), math.Float64bits(v))
+	}
+	mix(acc)
+	acc = 0
+	for dd, v := range d.Stark {
+		acc += pair(uint64(dd.Src), uint64(dd.Dst), math.Float64bits(v))
+	}
+	mix(acc)
+	acc = 0
+	for e, v := range d.Err2Q {
+		acc += pair(uint64(e.A), uint64(e.B), math.Float64bits(v))
+	}
+	mix(acc)
+	for _, v := range d.Err1Q {
+		mix(math.Float64bits(v))
+	}
+	return h
+}
+
+// fingerprint hashes every field of the circuit that compilation depends
+// on (FNV-1a, allocation-free), so the Runner's compile cache detects
+// in-place mutation even at the same pointer.
+func fingerprint(c *circuit.Circuit) uint64 {
+	const (
+		offset = fnvOffset
+		prime  = fnvPrime
+	)
+	h := uint64(offset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime
+			v >>= 8
+		}
+	}
+	mixF := func(f float64) { mix(math.Float64bits(f)) }
+	mixS := func(s string) {
+		mix(uint64(len(s)))
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime
+		}
+	}
+	mix(uint64(c.NQubits))
+	mix(uint64(c.NCBits))
+	mix(uint64(len(c.Layers)))
+	for li := range c.Layers {
+		l := &c.Layers[li]
+		mix(uint64(l.Kind))
+		mixF(l.Start)
+		mixF(l.Duration)
+		mix(uint64(len(l.Instrs)))
+		for ii := range l.Instrs {
+			in := &l.Instrs[ii]
+			mixS(string(in.Gate))
+			for _, q := range in.Qubits {
+				mix(uint64(q))
+			}
+			for _, p := range in.Params {
+				mixF(p)
+			}
+			mix(uint64(in.CBit))
+			if in.Cond != nil {
+				mix(uint64(in.Cond.Bit))
+				mix(uint64(in.Cond.Value))
+			}
+			mixS(in.Tag)
+			mixF(in.Time)
+		}
+	}
+	return h
+}
+
+// compiled returns the circuit's compilation, reusing the cached one when
+// neither the circuit nor the compile-relevant device calibration has
+// changed since the previous call.
+func (r *Runner) compiled(c *circuit.Circuit) (*compiled, error) {
+	fp := fingerprint(c) ^ deviceFingerprint(r.Dev)
+	r.mu.Lock()
+	if r.cachedC == c && r.cachedFP == fp {
+		cp := r.cached
+		r.mu.Unlock()
+		return cp, nil
+	}
+	r.mu.Unlock()
+	cp, err := r.compile(c)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.cachedC, r.cachedFP, r.cached = c, fp, cp
+	r.mu.Unlock()
+	return cp, nil
+}
+
+// matKey memoizes gate matrices within one compilation: repeated structures
+// (every Trotter step uses the same Ucan/ECR parameters) build each matrix
+// once instead of per instruction.
+type matKey struct {
+	g          gates.Kind
+	nq, np     int
+	p0, p1, p2 float64
+}
 
 func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 	if err := c.Validate(); err != nil {
@@ -184,6 +352,39 @@ func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 		return cp.starks[i].dst < cp.starks[j].dst
 	})
 
+	memo := map[matKey]linalg.Matrix{}
+	matrix := func(nq int, g gates.Kind, params []float64) linalg.Matrix {
+		k := matKey{g: g, nq: nq, np: len(params)}
+		if len(params) > 3 {
+			// Uncacheable arity; build directly.
+			if nq == 1 {
+				return gates.Matrix1Q(g, params...)
+			}
+			return gates.Matrix2Q(g, params...)
+		}
+		switch len(params) {
+		case 3:
+			k.p2 = params[2]
+			fallthrough
+		case 2:
+			k.p1 = params[1]
+			fallthrough
+		case 1:
+			k.p0 = params[0]
+		}
+		if m, ok := memo[k]; ok {
+			return m
+		}
+		var m linalg.Matrix
+		if nq == 1 {
+			m = gates.Matrix1Q(g, params...)
+		} else {
+			m = gates.Matrix2Q(g, params...)
+		}
+		memo[k] = m
+		return m
+	}
+
 	for li := range c.Layers {
 		l := &c.Layers[li]
 		le := layerExec{
@@ -193,6 +394,9 @@ func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 			active:   make([]bool, cp.nq),
 			driven:   make([]bool, cp.nq),
 			gatePair: make([]bool, len(cp.edges)),
+			// Worst case is four events per instruction (ECR/RZZ), so one
+			// allocation covers the layer.
+			events: make([]event, 0, 4*len(l.Instrs)),
 		}
 		seq := 0
 		emit := func(ev event) {
@@ -226,9 +430,9 @@ func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 				end := l.Start + l.Duration
 				switch in.Gate {
 				case gates.ECR:
-					emit(event{t: l.Start, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: gates.ZXMatrix(math.Pi / 4)})
-					emit(event{t: mid, kind: opPauliX, in: in, q0: q0, mat: gates.Matrix1Q(gates.XGate)})
-					emit(event{t: mid, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: gates.ZXMatrix(-math.Pi / 4)})
+					emit(event{t: l.Start, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: matrix(2, gates.ZX, zxPlusQuarter)})
+					emit(event{t: mid, kind: opPauliX, in: in, q0: q0, mat: matrix(1, gates.XGate, nil)})
+					emit(event{t: mid, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: matrix(2, gates.ZX, zxMinusQuarter)})
 					emit(event{t: end, kind: opGateErr2Q, in: in, q0: q0, q1: q1, errProb: errP})
 				case gates.RZZ:
 					ei := cp.edgeIdx[device.NewEdge(q0, q1)]
@@ -248,13 +452,7 @@ func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 					}
 					emit(event{t: end, kind: opGateErr2Q, in: in, q0: q0, q1: q1, errProb: errP * frac})
 				default: // CX, Ucan, ZX, SWAP: logical unit with ghost echo
-					var m linalg.Matrix
-					if len(in.Params) > 0 {
-						m = gates.Matrix2Q(in.Gate, in.Params...)
-					} else {
-						m = gates.Matrix2Q(in.Gate)
-					}
-					emit(event{t: l.Start, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: m})
+					emit(event{t: l.Start, kind: opApply2Q, in: in, q0: q0, q1: q1, mat: matrix(2, in.Gate, in.Params)})
 					emit(event{t: mid, kind: opEchoFlip, in: in, q0: q0})
 					emit(event{t: end, kind: opGateErr2Q, in: in, q0: q0, q1: q1, errProb: errP})
 				}
@@ -280,29 +478,23 @@ func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 				case gates.ID:
 					// no-op
 				case gates.XGate, gates.XDD, gates.YGate:
-					mat := gates.Matrix1Q(gates.XGate)
+					mat := matrix(1, gates.XGate, nil)
 					y := false
 					if in.Gate == gates.YGate {
-						mat = gates.Matrix1Q(gates.YGate)
+						mat = matrix(1, gates.YGate, nil)
 						y = true
 					}
 					emit(event{t: t, kind: opPauliX, in: in, q0: q, mat: mat, errProb: errP, yPhase: y})
 				default:
-					var m linalg.Matrix
-					if len(in.Params) > 0 {
-						m = gates.Matrix1Q(in.Gate, in.Params...)
-					} else {
-						m = gates.Matrix1Q(in.Gate)
-					}
-					emit(event{t: t, kind: opApply1Q, in: in, q0: q, mat: m, errProb: errP})
+					emit(event{t: t, kind: opApply1Q, in: in, q0: q, mat: matrix(1, in.Gate, in.Params), errProb: errP})
 				}
 			}
 		}
-		sort.SliceStable(le.events, func(i, j int) bool {
-			if le.events[i].t != le.events[j].t {
-				return le.events[i].t < le.events[j].t
+		slices.SortFunc(le.events, func(a, b event) int {
+			if a.t != b.t {
+				return cmp.Compare(a.t, b.t)
 			}
-			return le.events[i].seq < le.events[j].seq
+			return cmp.Compare(a.seq, b.seq)
 		})
 		cp.layers = append(cp.layers, le)
 	}
@@ -317,25 +509,33 @@ type Result struct {
 
 // Probability returns the empirical probability of bitstrings matching the
 // pattern, where pattern[i] constrains classical bit i to '0' or '1' ('x'
-// matches anything).
+// matches anything). A constrained position beyond the end of a measured
+// bitstring is a non-match (the pattern demands a bit that was never
+// recorded); measured bits beyond the end of the pattern are unconstrained
+// and match.
 func (r Result) Probability(pattern string) float64 {
 	if r.Shots == 0 {
 		return 0
 	}
 	hits := 0
 	for bits, n := range r.Counts {
-		ok := true
-		for i := 0; i < len(pattern) && i < len(bits); i++ {
-			if pattern[i] != 'x' && pattern[i] != bits[i] {
-				ok = false
-				break
-			}
-		}
-		if ok {
+		if matchesPattern(pattern, bits) {
 			hits += n
 		}
 	}
 	return float64(hits) / float64(r.Shots)
+}
+
+func matchesPattern(pattern, bits string) bool {
+	for i := 0; i < len(pattern); i++ {
+		if pattern[i] == 'x' {
+			continue
+		}
+		if i >= len(bits) || pattern[i] != bits[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func bitsKey(cbits []int) string {
@@ -349,12 +549,13 @@ func bitsKey(cbits []int) string {
 // Counts runs the circuit and returns measured bitstring counts (classical
 // bit i at string position i).
 func (r *Runner) Counts(c *circuit.Circuit) (Result, error) {
-	cp, err := r.compile(c)
+	cp, err := r.compiled(c)
 	if err != nil {
 		return Result{}, err
 	}
-	res := Result{Counts: map[string]int{}, Shots: r.Cfg.Shots}
-	keys := make([]string, r.Cfg.Shots)
+	shots := r.numShots()
+	res := Result{Counts: map[string]int{}, Shots: shots}
+	keys := make([]string, shots)
 	r.forEachShot(func(i int, s *shot) {
 		s.run(cp)
 		keys[i] = bitsKey(s.cbits)
@@ -370,28 +571,36 @@ func (r *Runner) Counts(c *circuit.Circuit) (Result, error) {
 // over noise trajectories of the exact expectation value of each observable
 // on the final state.
 func (r *Runner) Expectations(c *circuit.Circuit, obs []ObsSpec) ([]float64, error) {
-	cp, err := r.compile(c)
+	cp, err := r.compiled(c)
 	if err != nil {
 		return nil, err
 	}
-	sums := make([][]float64, r.Cfg.Shots)
+	plans := make([]obsPlan, len(obs))
+	for j, o := range obs {
+		plans[j] = o.plan()
+	}
+	shots := r.numShots()
+	nobs := len(obs)
+	// Flat per-shot value matrix: workers write disjoint rows, then the
+	// reduction runs in shot-index order so the floating-point sum is
+	// independent of scheduling.
+	sums := make([]float64, shots*nobs)
 	r.forEachShot(func(i int, s *shot) {
 		s.run(cp)
 		s.flushAll()
-		vals := make([]float64, len(obs))
-		for j, o := range obs {
-			vals[j] = o.eval(s.psi)
+		row := sums[i*nobs : (i+1)*nobs]
+		for j := range plans {
+			row[j] = plans[j].eval(s)
 		}
-		sums[i] = vals
 	}, cp)
-	out := make([]float64, len(obs))
-	for _, vals := range sums {
-		for j, v := range vals {
-			out[j] += v
+	out := make([]float64, nobs)
+	for i := 0; i < shots; i++ {
+		for j := 0; j < nobs; j++ {
+			out[j] += sums[i*nobs+j]
 		}
 	}
 	for j := range out {
-		out[j] /= float64(r.Cfg.Shots)
+		out[j] /= float64(shots)
 	}
 	return out, nil
 }
@@ -401,11 +610,12 @@ func (r *Runner) Expectations(c *circuit.Circuit, obs []ObsSpec) ([]float64, err
 // stochastic channels the result is deterministic; with them it is one
 // random trajectory.
 func (r *Runner) FinalState(c *circuit.Circuit) (linalg.Vector, error) {
-	cp, err := r.compile(c)
+	cp, err := r.compiled(c)
 	if err != nil {
 		return nil, err
 	}
-	s := r.newShot(cp, r.Cfg.Seed*1000003+13)
+	s := r.newShot(cp)
+	s.reset(r.shotSeed(0))
 	s.run(cp)
 	s.flushAll()
 	return s.psi, nil
@@ -415,21 +625,89 @@ func (r *Runner) FinalState(c *circuit.Circuit) (linalg.Vector, error) {
 // 5:"X"} for <X0 X5>.
 type ObsSpec map[int]byte
 
-func (o ObsSpec) eval(psi linalg.Vector) float64 {
-	w := psi.Copy()
-	for q, p := range o {
-		switch p {
+// obsOp is one non-diagonal factor of an observable.
+type obsOp struct {
+	q   int
+	mat linalg.Matrix
+}
+
+// obsPlan is a compiled observable: the Z factors folded into a parity
+// mask (they act diagonally on the basis) plus the X/Y factors in qubit
+// order. Plans are computed once per Expectations call so the per-shot
+// evaluation stays allocation-free and independent of map iteration order.
+type obsPlan struct {
+	zMask int
+	ops   []obsOp
+}
+
+func (o ObsSpec) plan() obsPlan {
+	var p obsPlan
+	qs := make([]int, 0, len(o))
+	for q := range o {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+	for _, q := range qs {
+		switch o[q] {
 		case 'X':
-			w.Apply1Q(gates.Matrix1Q(gates.XGate), q)
+			p.ops = append(p.ops, obsOp{q: q, mat: gates.Matrix1Q(gates.XGate)})
 		case 'Y':
-			w.Apply1Q(gates.Matrix1Q(gates.YGate), q)
+			p.ops = append(p.ops, obsOp{q: q, mat: gates.Matrix1Q(gates.YGate)})
 		case 'Z':
-			w.Apply1Q(gates.Matrix1Q(gates.ZGate), q)
+			p.zMask |= 1 << q
 		case 'I':
 		default:
-			panic(fmt.Sprintf("sim: invalid observable label %q", p))
+			panic(fmt.Sprintf("sim: invalid observable label %q", o[q]))
 		}
 	}
-	ip := linalg.Inner(psi, w)
-	return real(ip)
+	return p
+}
+
+// eval returns <psi| P |psi> for the planned Pauli observable. Z-only
+// observables are evaluated diagonally — a single pass over |psi|^2 with a
+// parity sign, no copy. Observables with X/Y factors apply them to the
+// shot's scratch vector (reused across observables and shots) and fold the
+// Z factors into the sign of the inner-product accumulation.
+func (p obsPlan) eval(s *shot) float64 {
+	psi := s.psi
+	if p.zMask >= len(psi) {
+		// An out-of-range X/Y qubit panics inside Apply1Q; give Z labels
+		// the same loud failure instead of silently acting as identity.
+		panic(fmt.Sprintf("sim: observable Z qubit out of range for %d-amplitude state (mask %#x)", len(psi), p.zMask))
+	}
+	if len(p.ops) == 0 {
+		sum := 0.0
+		for b, a := range psi {
+			v := real(a)*real(a) + imag(a)*imag(a)
+			if bits.OnesCount(uint(b&p.zMask))&1 == 1 {
+				sum -= v
+			} else {
+				sum += v
+			}
+		}
+		return sum
+	}
+	w := s.obsScratch()
+	copy(w, psi)
+	for _, op := range p.ops {
+		w.Apply1Q(op.mat, op.q)
+	}
+	sum := 0.0
+	for b := range psi {
+		a, x := psi[b], w[b]
+		re := real(a)*real(x) + imag(a)*imag(x) // real(conj(a) * x)
+		if p.zMask != 0 && bits.OnesCount(uint(b&p.zMask))&1 == 1 {
+			re = -re
+		}
+		sum += re
+	}
+	return sum
+}
+
+// eval on the raw spec builds a throwaway plan; kept for tests and
+// callers holding a bare statevector.
+func (o ObsSpec) eval(psi linalg.Vector) float64 {
+	p := o.plan()
+	s := &shot{psi: psi}
+	return p.eval(s)
 }

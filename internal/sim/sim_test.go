@@ -339,6 +339,69 @@ func TestMidCircuitMeasurementAndFeedForward(t *testing.T) {
 	}
 }
 
+// TestPureDephasingWithT1Disabled is the regression test for the T1=0
+// divide-by-zero: with amplitude damping disabled (T1 <= 0) the pure
+// dephasing rate must reduce to 1/Tphi = 1/T2 instead of silently becoming
+// -Inf and skipping dephasing on T2-only devices.
+func TestPureDephasingWithT1Disabled(t *testing.T) {
+	dev := quietDevice(1)
+	dev.T1 = []float64{0}    // damping disabled
+	dev.T2 = []float64{1000} // pure dephasing only
+	for e := range dev.ZZ {
+		dev.ZZ[e] = 0
+	}
+	dur := 2000.0
+	c := circuit.New(1, 0)
+	c.AddLayer(circuit.OneQubitLayer).H(0)
+	l := c.AddLayer(circuit.TwoQubitLayer)
+	l.Add(circuit.Instruction{Gate: gates.Delay, Qubits: []int{0}, Params: []float64{dur}})
+	sched.Schedule(c, dev)
+
+	cfg := sim.Config{Shots: 4000, Seed: 5, EnableT1T2: true}
+	cfg.Workers = 1
+	vals, err := sim.New(dev, cfg).Expectations(c, []sim.ObsSpec{{0: 'X'}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shot flips Z with p = (1 - exp(-dur/T2))/2, so
+	// <X> = exp(-dur/T2) ~ 0.135 in the mean. The old code returned 1.0.
+	want := math.Exp(-dur / 1000.0)
+	if math.Abs(vals[0]-want) > 0.05 {
+		t.Errorf("T2-only dephasing off: <X> = %.4f, want ~%.4f", vals[0], want)
+	}
+}
+
+// TestProbabilityLengthMismatch pins the pattern-matching contract in both
+// directions: a constrained pattern position beyond the measured bitstring
+// is a non-match (the old code silently ignored it), while measured bits
+// beyond the pattern are unconstrained.
+func TestProbabilityLengthMismatch(t *testing.T) {
+	res := sim.Result{Counts: map[string]int{"01": 3, "11": 1}, Shots: 4}
+	// Pattern longer than the bitstrings, constrained in the overflow:
+	// nothing can match.
+	if p := res.Probability("011"); p != 0 {
+		t.Errorf("constrained position beyond bitstring matched: p = %v, want 0", p)
+	}
+	if p := res.Probability("xx1"); p != 0 {
+		t.Errorf("constrained position beyond bitstring matched: p = %v, want 0", p)
+	}
+	// Pattern longer but unconstrained in the overflow: matches normally.
+	if p := res.Probability("01xx"); p != 0.75 {
+		t.Errorf("unconstrained overflow positions should match: p = %v, want 0.75", p)
+	}
+	// Pattern shorter than the bitstrings: extra measured bits are
+	// unconstrained.
+	if p := res.Probability("0"); p != 0.75 {
+		t.Errorf("bits beyond pattern should be unconstrained: p = %v, want 0.75", p)
+	}
+	if p := res.Probability("x1"); p != 1 {
+		t.Errorf("p = %v, want 1", p)
+	}
+	if p := res.Probability(""); p != 1 {
+		t.Errorf("empty pattern should match everything: p = %v, want 1", p)
+	}
+}
+
 func TestRelaxationDecaysExcitedState(t *testing.T) {
 	dev := quietDevice(1)
 	dev.T1 = []float64{1000} // 1 us in ns: strong decay over a long delay

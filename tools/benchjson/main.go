@@ -1,0 +1,70 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// array of {name, ns_per_op, bytes_per_op, allocs_per_op} records on
+// stdout, so CI can archive the perf trajectory as a machine-readable
+// artifact (BENCH_sim.json) from one PR to the next.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type record struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+func main() {
+	var out []record
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		// Field 0 is Name-P (P = GOMAXPROCS suffix, optional).
+		r := record{Name: fields[0]}
+		if i := strings.LastIndex(fields[0], "-"); i > 0 {
+			r.Name = fields[0][:i]
+		}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(fields[1], 10, 64); err != nil {
+			continue
+		}
+		// Remaining fields come in (value, unit) pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(v, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			}
+		}
+		out = append(out, r)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
