@@ -1,49 +1,6 @@
-// Package casq (Context-Aware Suppression of correlated noise in Quantum
-// circuits) is a Go reproduction of "Suppressing Correlated Noise in Quantum
-// Computers via Context-Aware Compiling" (Seif et al., ISCA 2024,
-// arXiv:2403.06852).
-//
-// The public API is built around two composable subsystems:
-//
-//   - a pass pipeline: every compiler transformation (Pauli twirling,
-//     scheduling, Context-Aware Dynamical Decoupling — Algorithm 1 — and
-//     Context-Aware Error Compensation — Algorithm 2) is a Pass, and a
-//     Pipeline composes them in any order. The paper's six benchmarked
-//     strategies (Bare … Combined) are canned pipelines via Build; custom
-//     orderings (EC before DD, twirl-free DD ablations, user-defined
-//     passes) compose with NewPipeline;
-//   - a concurrent executor: NewExecutor fans the twirl instances of a job
-//     out across a worker pool with per-instance derived seeds and
-//     aggregates in instance order, so results are bit-identical for any
-//     worker count and the full shot budget is preserved. The
-//     ExecOptions.Workers budget is shared between instance-level fan-out
-//     and the simulator's shot-level fan-out (a single-instance job
-//     parallelizes over shots instead of running serially; see DESIGN.md,
-//     "Unified worker budget").
-//
-// A minimal end-to-end run:
-//
-//	dev := casq.NewLineDevice("dev", 4, casq.DefaultDeviceOptions())
-//	pl := casq.Build(casq.Combined())
-//	ex := casq.NewExecutor(dev, pl)
-//	vals, err := ex.Expectations(context.Background(), circ,
-//	    []casq.Observable{{0: 'X'}},
-//	    casq.ExecOptions{Instances: 8, Seed: 7, Cfg: casq.DefaultSimConfig()})
-//
-// Beneath the API sit, from scratch and stdlib-only: a layered
-// quantum-circuit IR with scheduling and a gate library (ECR, CX, RZZ, the
-// canonical gate Ucan, ZXZXZ Euler decomposition); a device model with the
-// calibration data the paper's passes consume (always-on ZZ, Stark shifts,
-// charge parity, NNN collision edges, coherence times, gate
-// errors/durations); a trajectory statevector simulator substituting for
-// the paper's IBM hardware, with the echoed-CR pulse context modeled so DD
-// alignment effects emerge from the dynamics; and experiment harnesses
-// regenerating every figure and table of the paper's evaluation
-// (internal/experiments, cmd/experiments).
-//
-// The pre-redesign compiler API (NewCompiler, Compiler.Expectations,
-// Compiler.Counts) remains as thin wrappers over the pipeline + executor.
 package casq
+
+// The package documentation lives in doc.go.
 
 import (
 	"math/rand"
@@ -57,7 +14,10 @@ import (
 	"casq/internal/experiments"
 	"casq/internal/pass"
 	"casq/internal/sched"
+	"casq/internal/serve"
 	"casq/internal/sim"
+	"casq/internal/store"
+	"casq/internal/sweep"
 	"casq/internal/twirl"
 )
 
@@ -113,6 +73,41 @@ type (
 	ExecOptions = exec.RunOptions
 	// ExecResult aggregates a job's instances.
 	ExecResult = exec.Result
+)
+
+// Experiment-service types: the content-addressed result store, the sweep
+// scheduler over it, and the HTTP serving layer.
+type (
+	// ResultStore is the two-tier (memory LRU + disk) content-addressed
+	// result cache.
+	ResultStore = store.Store
+	// StoreKey is the SHA-256 content address of one cached result.
+	StoreKey = store.Key
+	// StoreStats snapshots the store's cache counters.
+	StoreStats = store.Stats
+	// FigureCache computes figures through the store: repeated requests
+	// for one configuration are answered bit-identically without
+	// recomputation.
+	FigureCache = sweep.Cache
+	// SweepCell is one concrete (experiment, options) unit of sweep work.
+	SweepCell = sweep.Cell
+	// SweepGrid declares the option axes of a sweep.
+	SweepGrid = sweep.Grid
+	// SweepSpec is a sweep request: experiment ids × an option grid.
+	SweepSpec = sweep.Spec
+	// SweepRunner schedules sweep cells with bounded concurrency and
+	// checkpoint/resume through the store.
+	SweepRunner = sweep.Runner
+	// SweepRun is one scheduled sweep execution.
+	SweepRun = sweep.Run
+	// SweepProgress snapshots a sweep's completion state.
+	SweepProgress = sweep.Progress
+	// ExperimentSpec is one experiment's declarative catalog entry.
+	ExperimentSpec = experiments.Spec
+	// ExperimentAxis is one named parameter dimension of an experiment.
+	ExperimentAxis = experiments.Axis
+	// Server answers catalog, figure, and sweep requests over HTTP.
+	Server = serve.Server
 )
 
 // Compatibility types for the pre-redesign compiler API.
@@ -266,6 +261,39 @@ func RunExperiment(id string, opts ExperimentOptions) (Figure, error) {
 
 // ExperimentIDs lists the available paper experiments.
 func ExperimentIDs() []string { return experiments.IDs() }
+
+// ExperimentCatalog returns every experiment's declarative Spec — id,
+// title, paper anchor, strategies, and parameter axes — in paper order.
+func ExperimentCatalog() []ExperimentSpec { return experiments.Catalog() }
+
+// LookupExperiment returns one experiment's declaration.
+func LookupExperiment(id string) (ExperimentSpec, bool) { return experiments.Lookup(id) }
+
+// OpenResultStore opens the content-addressed result cache rooted at dir
+// (empty dir = memory-only; memCapacity <= 0 = default LRU capacity).
+func OpenResultStore(dir string, memCapacity int) (*ResultStore, error) {
+	return store.Open(dir, memCapacity)
+}
+
+// Fingerprint computes the canonical content address of a request
+// descriptor; it is invariant under struct field reordering.
+func Fingerprint(v any) (StoreKey, error) { return store.Fingerprint(v) }
+
+// NewFigureCache returns the compute-or-cached figure layer over a store.
+func NewFigureCache(st *ResultStore) *FigureCache { return sweep.NewCache(st) }
+
+// NewSweepRunner returns a scheduler running sweep cells through the
+// cache with bounded concurrency (workers <= 0 means GOMAXPROCS).
+func NewSweepRunner(cache *FigureCache, workers int) *SweepRunner {
+	return &sweep.Runner{Cache: cache, Workers: workers}
+}
+
+// NewServer returns the HTTP experiment service over a figure cache; wire
+// Server.Handler into net/http (the `casq serve` subcommand does exactly
+// this).
+func NewServer(cache *FigureCache, sweepWorkers int) *Server {
+	return serve.New(cache, sweepWorkers)
+}
 
 // DefaultExperimentOptions is the full-quality configuration.
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

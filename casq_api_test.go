@@ -158,3 +158,69 @@ func TestFacadeTwirlInstance(t *testing.T) {
 		t.Errorf("twirled depth %d, want 3 (pre, gate, post)", inst.Depth())
 	}
 }
+
+// TestFacadeExperimentService exercises the service surface end to end
+// through the facade: catalog enumeration, cached figure requests, and a
+// checkpointed sweep.
+func TestFacadeExperimentService(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	catalog := casq.ExperimentCatalog()
+	if len(catalog) != len(casq.ExperimentIDs()) {
+		t.Fatalf("catalog has %d specs, want %d", len(catalog), len(casq.ExperimentIDs()))
+	}
+	if sp, ok := casq.LookupExperiment("fig6"); !ok || sp.Paper != "Fig. 6" {
+		t.Fatalf("LookupExperiment(fig6) = %+v, %v", sp, ok)
+	}
+
+	st, err := casq.OpenResultStore("", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := casq.NewFigureCache(st)
+	opts := casq.FastExperimentOptions()
+	opts.Shots, opts.Instances, opts.MaxDepth = 16, 2, 2
+	cell := casq.SweepCell{ID: "fig5", Opts: opts}
+	first, hit, err := cache.Figure(cell)
+	if err != nil || hit {
+		t.Fatalf("first request: hit=%v err=%v", hit, err)
+	}
+	second, hit, err := cache.Figure(cell)
+	if err != nil || !hit || string(first) != string(second) {
+		t.Fatalf("second request: hit=%v identical=%v err=%v", hit, string(first) == string(second), err)
+	}
+
+	runner := casq.NewSweepRunner(cache, 2)
+	run, err := runner.Start(context.Background(), casq.SweepSpec{
+		IDs:  []string{"fig5", "table1"},
+		Grid: casq.SweepGrid{Seeds: []int64{1, 2}},
+		Base: opts,
+		Fast: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := run.Wait()
+	if p.Done != 4 || p.Failed != 0 {
+		t.Fatalf("sweep progress = %+v", p)
+	}
+	if st.Stats().Hits == 0 {
+		t.Error("store recorded no hits")
+	}
+}
+
+// TestFacadeFingerprint pins the content-address contract at the facade.
+func TestFacadeFingerprint(t *testing.T) {
+	k1, err := casq.Fingerprint(map[string]any{"id": "x", "seed": 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := casq.Fingerprint(map[string]any{"seed": 7, "id": "x"})
+	if k1 != k2 {
+		t.Error("field order changed the fingerprint")
+	}
+	if !k1.Valid() {
+		t.Errorf("invalid key %q", k1)
+	}
+}

@@ -1,6 +1,7 @@
 // Command casq compiles demo workloads with the context-aware passes and
 // prints the resulting schedules, DD colorings, and compensation
-// statistics.
+// statistics. Its serve subcommand runs the experiment service: an HTTP
+// API over the content-addressed result store.
 //
 // Usage:
 //
@@ -8,10 +9,19 @@
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -list
+//	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
 //
-// The -passes flag composes an arbitrary pipeline (orderings the named
-// strategies cannot express, e.g. CA-EC before DD, or DD without
-// twirling); it overrides -strategy.
+// The -passes flag composes an arbitrary comma-separated pipeline
+// (orderings the named strategies cannot express, e.g. CA-EC before DD,
+// or DD without twirling); it overrides -strategy. Run `casq -list` for
+// the pass vocabulary. Experiment-level parallelism lives in the sibling
+// experiments command (its -workers flag sets the unified worker budget
+// per data point).
+//
+// `casq serve` answers GET /figures/{id} from the store — the first
+// request computes and checkpoints the figure, repeats stream the same
+// bytes back — and runs POST /sweeps grids in the background with
+// checkpoint/resume. See `casq serve -h` for the endpoint list.
 package main
 
 import (
@@ -117,6 +127,10 @@ func sortedKeys[V any](m map[string]V) []string {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serveMain(os.Args[2:])
+		return
+	}
 	var (
 		workload = flag.String("workload", "ising", "workload name (see -list)")
 		strategy = flag.String("strategy", "ca-ec+dd", "strategy name (see -list)")

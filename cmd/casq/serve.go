@@ -1,0 +1,57 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"casq/internal/experiments"
+	"casq/internal/serve"
+	"casq/internal/store"
+	"casq/internal/sweep"
+)
+
+// serveMain runs the `casq serve` subcommand: an HTTP service answering
+// figure requests from the content-addressed result store and scheduling
+// sweeps in the background.
+func serveMain(args []string) {
+	fs := flag.NewFlagSet("casq serve", flag.ExitOnError)
+	var (
+		addr    = fs.String("addr", "127.0.0.1:8823", "listen address")
+		dir     = fs.String("store", "casq-store", "result store directory (empty = memory-only)")
+		mem     = fs.Int("mem", store.DefaultMemCapacity, "in-memory cache capacity (entries)")
+		workers = fs.Int("sweep-workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]\n\n")
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+endpoints:
+  GET  /experiments   experiment catalog with declared parameter axes
+  GET  /figures/{id}  one figure (query: seed, shots, instances, maxdepth, fast)
+  POST /sweeps        submit a sweep spec; returns its id
+  GET  /sweeps/{id}   sweep progress
+  GET  /healthz       liveness + cache counters
+
+The first request for a figure computes and checkpoints it; repeats are
+served from the store bit-identically (X-Casq-Cache: hit).
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	st, err := store.Open(*dir, *mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := serve.New(sweep.NewCache(st), *workers)
+	defer srv.Close()
+	where := *dir
+	if where == "" {
+		where = "(memory only)"
+	}
+	log.Printf("casq serve: listening on %s, store %s, %d experiments", *addr, where, len(experiments.IDs()))
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -4,8 +4,13 @@
 // Usage:
 //
 //	experiments -list
-//	experiments -id fig8 [-fast] [-shots N] [-instances K] [-seed S]
+//	experiments -id fig8 [-fast] [-shots N] [-instances K] [-seed S] [-workers W]
 //	experiments -all [-fast]
+//
+// -workers sets the unified parallelism budget per data point (twirl
+// instances × simulator shots; 0 = GOMAXPROCS). Results are bit-identical
+// for every worker count. For cached, service-style access to the same
+// figures, run `casq serve` instead.
 package main
 
 import (

@@ -1,0 +1,97 @@
+// Serve client: the experiment service end to end in one process. Starts
+// the HTTP server backed by a content-addressed result store, requests
+// the same figure twice, and prints the cache-hit speedup — the second
+// response comes back from the store bit-identical in microseconds,
+// which is what lets `casq serve` answer repeated figure traffic in O(1).
+//
+// Run with: go run ./examples/serve_client
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"casq"
+)
+
+func main() {
+	// An in-memory store keeps the example self-contained; `casq serve
+	// -store DIR` adds the disk tier so results survive restarts.
+	st, err := casq.OpenResultStore("", 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := casq.NewServer(casq.NewFigureCache(st), 0)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	fmt.Printf("experiment service listening on %s\n\n", ts.URL)
+
+	// Enumerate the catalog the way any client would.
+	var specs []casq.ExperimentSpec
+	fetchJSON(ts.URL+"/experiments", &specs)
+	example := specs[0]
+	for _, sp := range specs {
+		if sp.ID == "fig6" {
+			example = sp
+		}
+	}
+	fmt.Printf("catalog: %d experiments, e.g. %s (%s, axes %v)\n\n",
+		len(specs), example.ID, example.Paper, example.Axes)
+
+	// First request: computed and checkpointed.
+	url := ts.URL + "/figures/fig6?fast=1"
+	body1, cache1, dt1 := fetchFigure(url)
+	fmt.Printf("GET /figures/fig6  #1: %-4s in %8.2f ms (%d bytes)\n", cache1, dt1.Seconds()*1e3, len(body1))
+
+	// Second request: answered from the store.
+	body2, cache2, dt2 := fetchFigure(url)
+	fmt.Printf("GET /figures/fig6  #2: %-4s in %8.2f ms (%d bytes)\n", cache2, dt2.Seconds()*1e3, len(body2))
+
+	if !bytes.Equal(body1, body2) {
+		log.Fatal("cache returned different bytes!")
+	}
+	fmt.Printf("\npayloads bit-identical; cache-hit speedup: %.0fx\n", dt1.Seconds()/dt2.Seconds())
+
+	var fig casq.Figure
+	if err := json.Unmarshal(body2, &fig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("figure %q: %d series over %q\n", fig.Title, len(fig.Series), fig.XLabel)
+}
+
+// fetchFigure GETs a figure URL, returning body, cache disposition, and
+// wall time.
+func fetchFigure(url string) ([]byte, string, time.Duration) {
+	start := time.Now()
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	return body, resp.Header.Get("X-Casq-Cache"), time.Since(start)
+}
+
+func fetchJSON(url string, v any) {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

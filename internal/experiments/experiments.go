@@ -6,10 +6,17 @@
 // circuits (Fig. 9), the combined strategy (Fig. 10), and the
 // error/suppression matrix (Table I).
 //
+// Every experiment is declared in the catalog (registry.go) as a Spec:
+// id, paper anchor, the strategies it exercises, and its parameter Axes
+// (depth sweeps, the Fig. 9 tau scan, the Fig. 8 layer-fidelity depths).
+// Harnesses receive their own Spec and read the sweep space from it, so
+// the catalog, the sweep scheduler (internal/sweep), and the HTTP layer
+// (internal/serve) enumerate exactly the spaces the harnesses run.
+//
 // Each harness returns a Figure: named series over a common x axis plus
 // free-form notes, renderable as an aligned text table. The cmd/experiments
 // binary prints them; the root bench suite regenerates them under
-// testing.B.
+// testing.B; `casq serve` answers them from the content-addressed store.
 package experiments
 
 import (
@@ -124,20 +131,4 @@ func DefaultOptions() Options {
 // FastOptions is a reduced configuration for benchmarks and smoke tests.
 func FastOptions() Options {
 	return Options{Seed: 11, Shots: 48, Instances: 4, MaxDepth: 4, Fast: true}
-}
-
-func (o Options) depths(def []int) []int {
-	if o.MaxDepth <= 0 {
-		return def
-	}
-	var out []int
-	for _, d := range def {
-		if d <= o.MaxDepth {
-			out = append(out, d)
-		}
-	}
-	if len(out) == 0 {
-		out = []int{1}
-	}
-	return out
 }

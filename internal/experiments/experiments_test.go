@@ -81,15 +81,75 @@ func TestFigureRender(t *testing.T) {
 	}
 }
 
-func TestOptionsDepths(t *testing.T) {
-	o := Options{MaxDepth: 3}
-	got := o.depths([]int{1, 2, 4, 8})
+func TestSpecDepths(t *testing.T) {
+	sp := Spec{Axes: []Axis{depthAxis(1, 2, 4, 8)}}
+	got := sp.Depths(Options{MaxDepth: 3})
 	if len(got) != 2 || got[1] != 2 {
 		t.Errorf("depths = %v", got)
 	}
-	o.MaxDepth = 0
-	if len(o.depths([]int{1, 2})) != 2 {
-		t.Error("MaxDepth=0 should keep defaults")
+	if len(sp.Depths(Options{})) != 4 {
+		t.Error("MaxDepth=0 should keep the declared axis")
+	}
+	// Clamping below every declared depth still leaves one point.
+	if got := sp.Depths(Options{MaxDepth: -1}); len(got) != 4 {
+		t.Errorf("negative MaxDepth should keep defaults, got %v", got)
+	}
+	sp2 := Spec{Axes: []Axis{depthAxis(4, 8)}}
+	if got := sp2.Depths(Options{MaxDepth: 2}); len(got) != 1 || got[0] != 1 {
+		t.Errorf("over-clamped depths = %v, want [1]", got)
+	}
+	// A spec without a depth axis yields no depths.
+	if got := (Spec{}).Depths(Options{}); len(got) != 0 {
+		t.Errorf("axis-free spec depths = %v", got)
+	}
+}
+
+func TestSpecAxisValues(t *testing.T) {
+	sp := Spec{Axes: []Axis{{Name: "tau", Values: []float64{0, 1, 2}, Fast: []float64{0, 2}}}}
+	if got := sp.AxisValues("tau", Options{}); len(got) != 3 {
+		t.Errorf("full axis = %v", got)
+	}
+	if got := sp.AxisValues("tau", Options{Fast: true}); len(got) != 2 {
+		t.Errorf("fast axis = %v", got)
+	}
+	if got := sp.AxisValues("missing", Options{}); got != nil {
+		t.Errorf("missing axis = %v", got)
+	}
+}
+
+// TestCatalogCoherent pins the declarative registry: unique ids, a runner
+// and paper anchor per spec, and Lookup/IDs agreeing with the catalog.
+func TestCatalogCoherent(t *testing.T) {
+	seen := map[string]bool{}
+	for _, sp := range Catalog() {
+		if sp.ID == "" || sp.Title == "" || sp.Paper == "" {
+			t.Errorf("spec %+v missing identity fields", sp)
+		}
+		switch {
+		case sp.DerivesFrom != "":
+			if sp.Derive == nil {
+				t.Errorf("derived spec %s has no Deriver", sp.ID)
+			}
+			if _, ok := Lookup(sp.DerivesFrom); !ok {
+				t.Errorf("spec %s derives from unknown %q", sp.ID, sp.DerivesFrom)
+			}
+		case sp.Run == nil:
+			t.Errorf("spec %s has no runner", sp.ID)
+		}
+		if seen[sp.ID] {
+			t.Errorf("duplicate id %s", sp.ID)
+		}
+		seen[sp.ID] = true
+		got, ok := Lookup(sp.ID)
+		if !ok || got.ID != sp.ID {
+			t.Errorf("Lookup(%s) = %v, %v", sp.ID, got.ID, ok)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("Lookup of unknown id must fail")
+	}
+	if len(IDs()) != len(Catalog()) {
+		t.Error("IDs and Catalog disagree")
 	}
 }
 
@@ -103,7 +163,7 @@ func TestFig3cOrdering(t *testing.T) {
 	o := FastOptions()
 	o.Shots = 64
 	o.MaxDepth = 6
-	fig, err := Fig3cCaseI(o)
+	fig, err := Run("fig3c", o)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,5 +216,22 @@ func TestRenderAlignsWideLabels(t *testing.T) {
 	out := fig.Render()
 	if !utf8.ValidString(out) {
 		t.Error("render produced invalid UTF-8")
+	}
+}
+
+// TestFig7SpecsShareAxes pins that fig7c and fig7d declare the identical
+// parameter space object: fig7d delegates its computation to the fig7c
+// harness, so divergent axis declarations would let a cached fig7d
+// survive a fig7c axis change.
+func TestFig7SpecsShareAxes(t *testing.T) {
+	c, _ := Lookup("fig7c")
+	d, _ := Lookup("fig7d")
+	if len(c.Axes) == 0 || len(c.Axes) != len(d.Axes) {
+		t.Fatalf("axes length mismatch: %d vs %d", len(c.Axes), len(d.Axes))
+	}
+	for i := range c.Axes {
+		if &c.Axes[i].Values[0] != &d.Axes[i].Values[0] {
+			t.Errorf("axis %q not shared between fig7c and fig7d", c.Axes[i].Name)
+		}
 	}
 }

@@ -18,8 +18,8 @@ import (
 // adjacent-control ZZ (EC-only), jointly idle stretches (DD or EC), and
 // slow quasi-static dephasing (DD-only). The combined CA-EC+DD strategy
 // outperforms its constituents, as in the paper.
-func Fig10Combined(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig10", Title: "combined strategy P00 (6 qubits)", XLabel: "step d", YLabel: "P00"}
+func Fig10Combined(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "step d", YLabel: "P00"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 59
 	// Emphasize the slow incoherent noise DD addresses.
@@ -27,7 +27,7 @@ func Fig10Combined(opts Options) (Figure, error) {
 	dev := models.CombinedDevice(devOpts)
 
 	pipelines := []pass.Pipeline{pass.Twirled(), pass.CADD(), pass.CAEC(), pass.Combined()}
-	depths := opts.depths([]int{1, 2, 3, 4, 5, 6})
+	depths := sp.Depths(opts)
 	for _, pl := range pipelines {
 		ex := exec.New(dev, pl)
 		var xs, ys []float64

@@ -55,19 +55,19 @@ func ramseyFidelity(dev *device.Device, rc models.RamseyCase, st ramseyStrategy,
 	return f / float64(len(vals)), nil
 }
 
-func ramseyFigure(id, title string, rc models.RamseyCase, strategies []ramseyStrategy, opts Options) (Figure, error) {
-	fig := Figure{ID: id, Title: title, XLabel: "depth d", YLabel: "Ramsey fidelity"}
+func ramseyFigure(sp Spec, rc models.RamseyCase, strategies []ramseyStrategy, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "depth d", YLabel: "Ramsey fidelity"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 41
 	dev := models.RamseyDevice(rc, devOpts)
-	depths := opts.depths([]int{0, 1, 2, 3, 4, 6, 8, 10, 13, 16, 20, 24})
+	depths := sp.Depths(opts)
 	for _, st := range strategies {
 		xs := make([]float64, 0, len(depths))
 		ys := make([]float64, 0, len(depths))
 		for _, d := range depths {
 			f, err := ramseyFidelity(dev, rc, st, d, opts)
 			if err != nil {
-				return fig, fmt.Errorf("%s/%s d=%d: %w", id, st.label, d, err)
+				return fig, fmt.Errorf("%s/%s d=%d: %w", sp.ID, st.label, d, err)
 			}
 			xs = append(xs, float64(d))
 			ys = append(ys, f)
@@ -80,8 +80,8 @@ func ramseyFigure(id, title string, rc models.RamseyCase, strategies []ramseyStr
 
 // Fig3cCaseI reproduces paper Fig. 3c: two adjacent idle qubits under no
 // suppression, aligned DD, staggered DD, error compensation, and EC+DD.
-func Fig3cCaseI(opts Options) (Figure, error) {
-	return ramseyFigure("fig3c", "Ramsey case I: adjacent idle qubits", models.CaseIdlePair,
+func Fig3cCaseI(sp Spec, opts Options) (Figure, error) {
+	return ramseyFigure(sp, models.CaseIdlePair,
 		[]ramseyStrategy{
 			{label: "noisy", dd: dd.None},
 			{label: "aligned-dd", dd: dd.Aligned},
@@ -92,8 +92,8 @@ func Fig3cCaseI(opts Options) (Figure, error) {
 }
 
 // Fig3dCaseII reproduces paper Fig. 3d: the control-spectator context.
-func Fig3dCaseII(opts Options) (Figure, error) {
-	return ramseyFigure("fig3d", "Ramsey case II: control spectator", models.CaseControlSpectator,
+func Fig3dCaseII(sp Spec, opts Options) (Figure, error) {
+	return ramseyFigure(sp, models.CaseControlSpectator,
 		[]ramseyStrategy{
 			{label: "noisy", dd: dd.None},
 			{label: "aligned-dd", dd: dd.Aligned},
@@ -103,8 +103,8 @@ func Fig3dCaseII(opts Options) (Figure, error) {
 }
 
 // Fig3eCaseIII reproduces paper Fig. 3e: the target-spectator context.
-func Fig3eCaseIII(opts Options) (Figure, error) {
-	return ramseyFigure("fig3e", "Ramsey case III: target spectator", models.CaseTargetSpectator,
+func Fig3eCaseIII(sp Spec, opts Options) (Figure, error) {
+	return ramseyFigure(sp, models.CaseTargetSpectator,
 		[]ramseyStrategy{
 			{label: "noisy", dd: dd.None},
 			{label: "ca-dd", dd: dd.ContextAware},
@@ -114,8 +114,8 @@ func Fig3eCaseIII(opts Options) (Figure, error) {
 
 // Fig3fCaseIV reproduces paper Fig. 3f: adjacent control qubits, where DD
 // cannot act and only error compensation helps.
-func Fig3fCaseIV(opts Options) (Figure, error) {
-	return ramseyFigure("fig3f", "Ramsey case IV: adjacent controls", models.CaseControlControl,
+func Fig3fCaseIV(sp Spec, opts Options) (Figure, error) {
+	return ramseyFigure(sp, models.CaseControlControl,
 		[]ramseyStrategy{
 			{label: "noisy", dd: dd.None},
 			{label: "ca-dd", dd: dd.ContextAware},

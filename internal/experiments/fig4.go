@@ -20,8 +20,8 @@ import (
 // qubit while gates run on its neighbor shows a peak displaced from the
 // always-on coupling frequency by the AC Stark shift (~20 kHz on the
 // paper's device).
-func Fig4aStark(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig4a", Title: "Stark shift on a gate spectator", XLabel: "freq (kHz)", YLabel: "periodogram"}
+func Fig4aStark(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "freq (kHz)", YLabel: "periodogram"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 17
 	devOpts.DeltaMax = 0
@@ -31,7 +31,7 @@ func Fig4aStark(opts Options) (Figure, error) {
 	// Probe 3 is the control spectator of repeated ECR(2,1) gates: during
 	// each gate the echo removes ZZ(2,3), leaving the spectator precessing
 	// at the always-on rate nu(2,3) plus the Stark shift from the drive.
-	depths := opts.depths([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20, 22, 25, 28, 31, 34})
+	depths := sp.Depths(opts)
 	var ts, xs, ys []float64
 	for _, d := range depths {
 		c := circuit.New(4, 0)
@@ -91,8 +91,8 @@ func Fig4aStark(opts Options) (Figure, error) {
 // Fig4bParity reproduces paper Fig. 4b: charge-parity fluctuations add a
 // +/-delta Z whose sign flips shot to shot; on top of a known rotation nu
 // the averaged Ramsey signal beats as cos(2 pi nu t) cos(2 pi delta t).
-func Fig4bParity(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig4b", Title: "charge-parity beating", XLabel: "time (us)", YLabel: "<X>"}
+func Fig4bParity(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "time (us)", YLabel: "<X>"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 19
 	devOpts.QuasistaticSigma = 0
@@ -102,7 +102,7 @@ func Fig4bParity(opts Options) (Figure, error) {
 	nuKnown := 300e3 // deliberate known rotation
 
 	tau := 500.0
-	depths := opts.depths([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30})
+	depths := sp.Depths(opts)
 	var xsT, meas, theory []float64
 	for _, d := range depths {
 		c := circuit.New(1, 0)
@@ -140,8 +140,8 @@ func Fig4bParity(opts Options) (Figure, error) {
 // between next-nearest neighbors i and k is invisible to index-staggered DD
 // (i and k share a color) but suppressed by the Walsh hierarchy used in
 // CA-DD, which colors on the crosstalk graph including the NNN edge.
-func Fig4cNNN(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig4c", Title: "NNN crosstalk vs DD hierarchy", XLabel: "depth d", YLabel: "Ramsey fidelity"}
+func Fig4cNNN(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "depth d", YLabel: "Ramsey fidelity"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 23
 	devOpts.NNNCollision = 25e3 // strongly collision-enhanced (paper: up to O(10 kHz))
@@ -160,7 +160,7 @@ func Fig4cNNN(opts Options) (Figure, error) {
 		{"staggered", dd.Staggered},
 		{"walsh(ca)", dd.ContextAware},
 	}
-	depths := opts.depths([]int{0, 2, 4, 6, 8, 12, 16, 20, 24, 30})
+	depths := sp.Depths(opts)
 	for _, st := range strategies {
 		var xs, ys []float64
 		for _, d := range depths {

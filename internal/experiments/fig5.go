@@ -17,8 +17,8 @@ import (
 // color, targets rotary-protected) and assigns Walsh–Hadamard sequences.
 // The "figure" reports, per layer and qubit, the chosen color, Walsh row and
 // pulse count, and verifies the coloring against the crosstalk graph.
-func Fig5Coloring(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig5", Title: "CA-DD constrained coloring example", XLabel: "-", YLabel: "-"}
+func Fig5Coloring(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "-", YLabel: "-"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 31
 	dev := device.NewHeavyHexFragment(devOpts)

@@ -17,14 +17,14 @@ import (
 // ideally oscillates between +1 and -1; idle boundary periods in the
 // odd-even layers add Z errors that twirling alone cannot remove, while
 // CA-EC and CA-DD restore the oscillation.
-func Fig6Ising(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig6", Title: "Floquet Ising chain <X0 X5>", XLabel: "step d", YLabel: "<X0X5>"}
+func Fig6Ising(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "step d", YLabel: "<X0X5>"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 37
 	dev := device.NewLine("ising6", 6, devOpts)
 	n := 6
 
-	depths := opts.depths([]int{1, 2, 3, 4, 5, 6, 7, 8})
+	depths := sp.Depths(opts)
 	obs := []sim.ObsSpec{{0: 'X', 5: 'X'}}
 
 	// Ideal reference.

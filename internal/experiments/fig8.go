@@ -17,8 +17,8 @@ import (
 // Paper values: LF 0.648 / 0.743 / 0.822 / 0.881 and gamma 2.38 / 1.81 /
 // 1.48 / 1.29 for bare / DD / CA-DD / CA-EC; CA-EC wins because the
 // Ctrl-Ctrl ZZ between Q37 and Q38 is invisible to DD.
-func Fig8LayerFidelity(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig8", Title: "layer fidelity, 10-qubit sparse layer", XLabel: "strategy#", YLabel: "LF"}
+func Fig8LayerFidelity(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "strategy#", YLabel: "LF"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 47
 	// The paper's device sits in a noisier regime than our default ranges
@@ -39,8 +39,11 @@ func Fig8LayerFidelity(opts Options) (Figure, error) {
 	lfOpts.Instances = opts.Instances
 	lfOpts.Workers = opts.Workers
 	lfOpts.Shots = max(8, opts.Shots/4)
+	lfOpts.Depths = nil
+	for _, v := range sp.AxisValues("lf_depth", opts) {
+		lfOpts.Depths = append(lfOpts.Depths, int(v))
+	}
 	if opts.Fast {
-		lfOpts.Depths = []int{1, 2, 4}
 		lfOpts.PauliRounds = 3
 	}
 

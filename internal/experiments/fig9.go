@@ -22,8 +22,8 @@ import (
 // fidelity peaks when it matches the controller's true latency (1.15 us in
 // the paper), and the paper reports an >8x fidelity improvement over no
 // compensation.
-func Fig9Dynamic(opts Options) (Figure, error) {
-	fig := Figure{ID: "fig9", Title: "dynamic-circuit Bell fidelity vs assumed tau", XLabel: "tau (us)", YLabel: "Bell fidelity"}
+func Fig9Dynamic(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "tau (us)", YLabel: "Bell fidelity"}
 	devOpts := device.DefaultOptions()
 	devOpts.Seed = 53
 	// Stronger ZZ and the paper's 4 us measurement makes the bare fidelity
@@ -57,11 +57,8 @@ func Fig9Dynamic(opts Options) (Figure, error) {
 		return fig, err
 	}
 
-	// Scan the compiler's assumed feed-forward time.
-	taus := []float64{0, 250, 500, 750, 1000, 1150, 1300, 1500, 1750, 2000, 2300}
-	if opts.Fast {
-		taus = []float64{0, 500, 1150, 1750}
-	}
+	// Scan the compiler's assumed feed-forward time (declared tau_ns axis).
+	taus := sp.AxisValues("tau_ns", opts)
 	var xs, ys []float64
 	best, bestTau := 0.0, 0.0
 	for i, tau := range taus {

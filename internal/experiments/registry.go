@@ -1,47 +1,194 @@
 package experiments
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
-// Runner regenerates one figure/table.
-type Runner func(Options) (Figure, error)
+// Runner regenerates one figure/table. It receives the experiment's own
+// Spec so the harness reads its parameter space from the declaration
+// rather than hard-coding it.
+type Runner func(Spec, Options) (Figure, error)
 
-// Registry maps experiment ids to their harnesses.
-var Registry = map[string]Runner{
-	"fig3c":  Fig3cCaseI,
-	"fig3d":  Fig3dCaseII,
-	"fig3e":  Fig3eCaseIII,
-	"fig3f":  Fig3fCaseIV,
-	"fig4a":  Fig4aStark,
-	"fig4b":  Fig4bParity,
-	"fig4c":  Fig4cNNN,
-	"fig5":   Fig5Coloring,
-	"fig6":   Fig6Ising,
-	"fig7c":  Fig7cHeisenberg,
-	"fig7d":  Fig7dOverhead,
-	"fig8":   Fig8LayerFidelity,
-	"fig9":   Fig9Dynamic,
-	"fig10":  Fig10Combined,
-	"table1": TableI,
+// Deriver post-processes another experiment's figure into a derived one
+// (e.g. fig7d fits overheads from fig7c's curves). Declaring the
+// dependency (Spec.DerivesFrom) instead of recomputing the base inside
+// the harness lets the caching layer reuse a checkpointed base figure.
+type Deriver func(sp Spec, base Figure, opts Options) (Figure, error)
+
+// Axis is one named, ordered parameter dimension of an experiment's
+// declared sweep space. Values is the full-quality axis; Fast, when
+// non-nil, is the reduced axis selected by Options.Fast.
+type Axis struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+	Fast   []float64 `json:"fast,omitempty"`
 }
 
-// IDs returns the registered experiment ids in order.
-func IDs() []string {
-	out := make([]string, 0, len(Registry))
-	for id := range Registry {
-		out = append(out, id)
+// Spec declares one experiment: its identity, what part of the paper it
+// reproduces, the pipeline strategies it exercises, and its parameter
+// axes. The sweep scheduler and the HTTP layer enumerate and shard
+// experiments from these declarations without invoking harness code.
+type Spec struct {
+	ID         string   `json:"id"`
+	Title      string   `json:"title"`
+	Paper      string   `json:"paper"` // paper anchor, e.g. "Fig. 3c" or "Table I"
+	Strategies []string `json:"strategies,omitempty"`
+	Axes       []Axis   `json:"axes,omitempty"`
+	// DerivesFrom names the experiment whose figure this one post-
+	// processes; such specs set Derive instead of Run.
+	DerivesFrom string  `json:"derives_from,omitempty"`
+	Run         Runner  `json:"-"`
+	Derive      Deriver `json:"-"`
+}
+
+// AxisValues returns the named axis for the options: the Fast variant
+// when Options.Fast is set and the axis declares one, the full values
+// otherwise, nil when the axis is not declared.
+func (sp Spec) AxisValues(name string, opts Options) []float64 {
+	for _, ax := range sp.Axes {
+		if ax.Name == name {
+			if opts.Fast && ax.Fast != nil {
+				return ax.Fast
+			}
+			return ax.Values
+		}
 	}
-	sort.Strings(out)
+	return nil
+}
+
+// Depths returns the experiment's "depth" axis as ints with the
+// Options.MaxDepth clamp applied: MaxDepth <= 0 keeps the declared axis,
+// otherwise values above MaxDepth are dropped (never below one point).
+func (sp Spec) Depths(opts Options) []int {
+	vals := sp.AxisValues("depth", opts)
+	out := make([]int, 0, len(vals))
+	for _, v := range vals {
+		d := int(v)
+		if opts.MaxDepth > 0 && d > opts.MaxDepth {
+			continue
+		}
+		out = append(out, d)
+	}
+	if len(out) == 0 && len(vals) > 0 {
+		out = []int{1}
+	}
+	return out
+}
+
+func depthAxis(vals ...float64) Axis { return Axis{Name: "depth", Values: vals} }
+
+// ramseyDepths is the shared depth axis of the four Fig. 3 Ramsey panels.
+var ramseyDepths = depthAxis(0, 1, 2, 3, 4, 6, 8, 10, 13, 16, 20, 24)
+
+// fig7Axes is shared by fig7c and fig7d: Fig7dOverhead delegates its
+// computation to the fig7c harness, so the two specs must declare (and
+// cache-key) the identical parameter space — one variable, not two
+// copies that could drift apart.
+var fig7Axes = []Axis{depthAxis(1, 2, 3, 4, 5, 6),
+	{Name: "qubits", Values: []float64{12}, Fast: []float64{6}}}
+
+// catalog is the declarative experiment registry, in paper order. Every
+// figure's sweep space lives here, not in the harnesses: the harness asks
+// its Spec for axis values, and the serving layers enumerate the same
+// declarations over HTTP.
+var catalog = []Spec{
+	{ID: "fig3c", Title: "Ramsey case I: adjacent idle qubits", Paper: "Fig. 3c",
+		Strategies: []string{"noisy", "aligned-dd", "staggered", "ca-ec", "ec+dd"},
+		Axes:       []Axis{ramseyDepths}, Run: Fig3cCaseI},
+	{ID: "fig3d", Title: "Ramsey case II: control spectator", Paper: "Fig. 3d",
+		Strategies: []string{"noisy", "aligned-dd", "ca-dd", "ca-ec"},
+		Axes:       []Axis{ramseyDepths}, Run: Fig3dCaseII},
+	{ID: "fig3e", Title: "Ramsey case III: target spectator", Paper: "Fig. 3e",
+		Strategies: []string{"noisy", "ca-dd", "ca-ec"},
+		Axes:       []Axis{ramseyDepths}, Run: Fig3eCaseIII},
+	{ID: "fig3f", Title: "Ramsey case IV: adjacent controls", Paper: "Fig. 3f",
+		Strategies: []string{"noisy", "ca-dd", "ca-ec"},
+		Axes:       []Axis{ramseyDepths}, Run: Fig3fCaseIV},
+	{ID: "fig4a", Title: "Stark shift on a gate spectator", Paper: "Fig. 4a",
+		Axes: []Axis{depthAxis(0, 1, 2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 18, 20, 22, 25, 28, 31, 34)},
+		Run:  Fig4aStark},
+	{ID: "fig4b", Title: "charge-parity beating", Paper: "Fig. 4b",
+		Axes: []Axis{depthAxis(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30)},
+		Run:  Fig4bParity},
+	{ID: "fig4c", Title: "NNN crosstalk vs DD hierarchy", Paper: "Fig. 4c",
+		Strategies: []string{"none", "aligned", "staggered", "walsh(ca)"},
+		Axes:       []Axis{depthAxis(0, 2, 4, 6, 8, 12, 16, 20, 24, 30)},
+		Run:        Fig4cNNN},
+	{ID: "fig5", Title: "CA-DD constrained coloring example", Paper: "Fig. 5",
+		Strategies: []string{"ca-dd"}, Run: Fig5Coloring},
+	{ID: "fig6", Title: "Floquet Ising chain <X0 X5>", Paper: "Fig. 6",
+		Strategies: []string{"twirled", "ca-ec", "ca-dd"},
+		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6, 7, 8)}, Run: Fig6Ising},
+	{ID: "fig7c", Title: "Heisenberg ring <Z2> (12 spins)", Paper: "Fig. 7c",
+		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Axes:       fig7Axes, Run: Fig7cHeisenberg},
+	{ID: "fig7d", Title: "mitigation overhead (Heisenberg)", Paper: "Fig. 7d",
+		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Axes:       fig7Axes, DerivesFrom: "fig7c", Derive: Fig7dOverhead},
+	{ID: "fig8", Title: "layer fidelity, 10-qubit sparse layer", Paper: "Fig. 8",
+		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Axes:       []Axis{{Name: "lf_depth", Values: []float64{1, 2, 4, 6, 9, 12}, Fast: []float64{1, 2, 4}}},
+		Run:        Fig8LayerFidelity},
+	{ID: "fig9", Title: "dynamic-circuit Bell fidelity vs assumed tau", Paper: "Fig. 9",
+		Strategies: []string{"bare", "ca-ec"},
+		Axes: []Axis{{Name: "tau_ns", Values: []float64{0, 250, 500, 750, 1000, 1150, 1300, 1500, 1750, 2000, 2300},
+			Fast: []float64{0, 500, 1150, 1750}}},
+		Run: Fig9Dynamic},
+	{ID: "fig10", Title: "combined strategy P00 (6 qubits)", Paper: "Fig. 10",
+		Strategies: []string{"twirled", "ca-dd", "ca-ec", "ca-ec+dd"},
+		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6)}, Run: Fig10Combined},
+	{ID: "table1", Title: "error sources and suppression", Paper: "Table I",
+		Strategies: []string{"ca-ec", "aligned-dd", "staggered", "ca-dd"}, Run: TableI},
+}
+
+// byID indexes the catalog. Harnesses must not call back into the
+// registry (derived figures declare DerivesFrom instead) — a harness
+// referenced from the catalog that mentioned Run/IDs/Lookup would form a
+// compile-time initialization cycle through this variable.
+var byID = func() map[string]Spec {
+	m := make(map[string]Spec, len(catalog))
+	for _, sp := range catalog {
+		if _, dup := m[sp.ID]; dup {
+			panic("experiments: duplicate catalog id " + sp.ID)
+		}
+		m[sp.ID] = sp
+	}
+	return m
+}()
+
+// Catalog returns the experiment declarations in paper order. The slice
+// is a copy; Specs themselves are shared (do not mutate Axes in place).
+func Catalog() []Spec {
+	out := make([]Spec, len(catalog))
+	copy(out, catalog)
+	return out
+}
+
+// Lookup returns the declaration of one experiment id.
+func Lookup(id string) (Spec, bool) {
+	sp, ok := byID[id]
+	return sp, ok
+}
+
+// IDs returns the registered experiment ids in paper order.
+func IDs() []string {
+	out := make([]string, len(catalog))
+	for i, sp := range catalog {
+		out[i] = sp.ID
+	}
 	return out
 }
 
 // Run executes one experiment by id.
 func Run(id string, opts Options) (Figure, error) {
-	r, ok := Registry[id]
+	sp, ok := byID[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
 	}
-	return r(opts)
+	if sp.DerivesFrom != "" {
+		base, err := Run(sp.DerivesFrom, opts)
+		if err != nil {
+			return Figure{}, err
+		}
+		return sp.Derive(sp, base, opts)
+	}
+	return sp.Run(sp, opts)
 }

@@ -15,8 +15,8 @@ import (
 // with a micro-experiment measuring the residual error angle with and
 // without the claimed suppression (a row is confirmed when the suppressed
 // residual is at least 10x smaller, or when the claim is a negative one).
-func TableI(opts Options) (Figure, error) {
-	fig := Figure{ID: "table1", Title: "error sources and suppression (paper Table I)", XLabel: "-", YLabel: "-"}
+func TableI(sp Spec, opts Options) (Figure, error) {
+	fig := Figure{ID: sp.ID, Title: sp.Title + " (paper Table I)", XLabel: "-", YLabel: "-"}
 	fig.Notef("%-12s %-18s %-18s %-10s", "Error", "Source", "EC", "DD")
 	fig.Notef("%-12s %-18s %-18s %-10s", "Z (idle)", "Always-on", "Phase shift", "Any")
 	fig.Notef("%-12s %-18s %-18s %-10s", "ZZ (idle)", "Always-on", "Absorb", "Staggered")

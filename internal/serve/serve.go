@@ -1,0 +1,289 @@
+// Package serve exposes the experiment catalog over HTTP, turning the
+// repository from a batch tool into a result service. Figure requests go
+// through the sweep.Cache, so the first request for a configuration
+// computes and checkpoints it and every later request streams the
+// checkpointed JSON bytes back unchanged; sweep submissions run
+// asynchronously on the sweep.Runner and report live progress.
+//
+// Routes:
+//
+//	GET  /experiments   catalog of declarative experiment Specs
+//	GET  /figures/{id}  one figure; options via query parameters
+//	                    (seed, shots, instances, maxdepth, fast);
+//	                    X-Casq-Cache reports hit or miss
+//	POST /sweeps        submit a sweep.Spec as JSON; returns 202 + id
+//	GET  /sweeps/{id}   progress of a submitted sweep
+//	GET  /healthz       liveness plus store cache counters
+//
+// The `casq serve` subcommand wires this handler to a listening socket.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"casq/internal/experiments"
+	"casq/internal/sweep"
+)
+
+// Server serves the experiment catalog, cached figures, and sweeps. Use
+// New; the zero value is not usable.
+type Server struct {
+	cache  *sweep.Cache
+	runner *sweep.Runner
+
+	ctx    context.Context // governs background sweeps
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	sweeps map[string]*sweep.Run
+	order  []string // sweep ids in submission order, for history pruning
+	seq    int
+}
+
+// maxSweepHistory bounds retained sweep runs: beyond it, the oldest
+// finished runs are forgotten (their results stay checkpointed in the
+// store — only the progress handle goes away). Running sweeps are never
+// pruned.
+const maxSweepHistory = 128
+
+// New returns a server answering from the cache; sweepWorkers bounds the
+// concurrency of submitted sweeps (0 = GOMAXPROCS).
+func New(cache *sweep.Cache, sweepWorkers int) *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		cache:  cache,
+		runner: &sweep.Runner{Cache: cache, Workers: sweepWorkers},
+		ctx:    ctx,
+		cancel: cancel,
+		sweeps: map[string]*sweep.Run{},
+	}
+}
+
+// Close stops claiming new sweep cells. In-flight cells finish and stay
+// checkpointed, so a later server over the same store resumes them.
+func (s *Server) Close() { s.cancel() }
+
+// Handler returns the routed HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /figures/{id}", s.handleFigure)
+	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
+	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, experiments.Catalog())
+}
+
+// figureParams is the accepted /figures/{id} query vocabulary. Unknown
+// parameters are rejected rather than ignored: a typo (shot= for shots=)
+// must not silently serve — and cache — a different configuration.
+var figureParams = map[string]bool{
+	"seed": true, "shots": true, "instances": true, "maxdepth": true, "fast": true,
+}
+
+// figureOptions binds the request's query parameters to run Options:
+// fast=1 starts from FastOptions (reduced axes), everything else from
+// DefaultOptions, with seed/shots/instances/maxdepth overriding per field.
+func figureOptions(r *http.Request) (experiments.Options, error) {
+	q := r.URL.Query()
+	opts := experiments.DefaultOptions()
+	for name := range q {
+		if !figureParams[name] {
+			return opts, fmt.Errorf("unknown parameter %q (known: fast, instances, maxdepth, seed, shots)", name)
+		}
+	}
+	if fast, err := boolParam(q.Get("fast")); err != nil {
+		return opts, fmt.Errorf("fast: %w", err)
+	} else if fast {
+		opts = experiments.FastOptions()
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{
+		{"shots", &opts.Shots},
+		{"instances", &opts.Instances},
+		{"maxdepth", &opts.MaxDepth},
+	} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return opts, fmt.Errorf("%s: not a non-negative integer: %q", p.name, v)
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return opts, fmt.Errorf("seed: not an integer: %q", v)
+		}
+		opts.Seed = n
+	}
+	return opts, nil
+}
+
+func boolParam(v string) (bool, error) {
+	switch v {
+	case "", "0", "false":
+		return false, nil
+	case "1", "true":
+		return true, nil
+	}
+	return false, fmt.Errorf("not a boolean: %q", v)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.Lookup(id); !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (see /experiments)", id)
+		return
+	}
+	opts, err := figureOptions(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, hit, err := s.cache.Figure(sweep.Cell{ID: id, Opts: opts})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if hit {
+		w.Header().Set("X-Casq-Cache", "hit")
+	} else {
+		w.Header().Set("X-Casq-Cache", "miss")
+	}
+	w.Write(data)
+}
+
+// sweepAccepted is the POST /sweeps response body.
+type sweepAccepted struct {
+	ID     string `json:"id"`
+	Total  int    `json:"total"`
+	Status string `json:"status"`
+}
+
+func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode sweep spec: %v", err)
+		return
+	}
+	// Fill unset base fields per-field (mirroring GET /figures): a
+	// partially-specified base must not run — and permanently checkpoint —
+	// statistically meaningless 1-shot/1-instance figures.
+	def := experiments.DefaultOptions()
+	if spec.Fast || spec.Base.Fast {
+		def = experiments.FastOptions()
+	}
+	if spec.Base.Seed == 0 {
+		spec.Base.Seed = def.Seed
+	}
+	if spec.Base.Shots == 0 {
+		spec.Base.Shots = def.Shots
+	}
+	if spec.Base.Instances == 0 {
+		spec.Base.Instances = def.Instances
+	}
+	if spec.Base.MaxDepth == 0 {
+		spec.Base.MaxDepth = def.MaxDepth
+	}
+	run, err := s.runner.Start(s.ctx, spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.seq++
+	id := fmt.Sprintf("sweep-%d", s.seq)
+	s.sweeps[id] = run
+	s.order = append(s.order, id)
+	s.pruneLocked()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, sweepAccepted{ID: id, Total: len(run.Cells()), Status: "/sweeps/" + id})
+}
+
+// sweepStatus is the GET /sweeps/{id} response body.
+type sweepStatus struct {
+	ID       string           `json:"id"`
+	Progress sweep.Progress   `json:"progress"`
+	Cells    []sweepCellState `json:"cells"`
+}
+
+// sweepCellState identifies one cell by every gridded option dimension,
+// so cells of a sweep over instances or max-depths stay distinguishable.
+type sweepCellState struct {
+	Experiment string          `json:"experiment"`
+	Seed       int64           `json:"seed"`
+	Shots      int             `json:"shots"`
+	Instances  int             `json:"instances"`
+	MaxDepth   int             `json:"max_depth"`
+	State      sweep.CellState `json:"state"`
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	run, ok := s.sweeps[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	states := run.States()
+	cells := run.Cells()
+	body := sweepStatus{ID: id, Progress: run.Progress(), Cells: make([]sweepCellState, len(cells))}
+	for i, c := range cells {
+		body.Cells[i] = sweepCellState{Experiment: c.ID, Seed: c.Opts.Seed, Shots: c.Opts.Shots,
+			Instances: c.Opts.Instances, MaxDepth: c.Opts.MaxDepth, State: states[i]}
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// pruneLocked drops the oldest finished runs beyond maxSweepHistory so a
+// long-lived server does not accumulate one Run per submission forever.
+// Callers hold s.mu.
+func (s *Server) pruneLocked() {
+	if len(s.order) <= maxSweepHistory {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - maxSweepHistory
+	for _, id := range s.order {
+		if excess > 0 && s.sweeps[id].Progress().Finished {
+			delete(s.sweeps, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store": s.cache.Store.Stats()})
+}

@@ -1,0 +1,113 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Key is the content address of one cached result: the lowercase hex
+// SHA-256 of the canonical JSON encoding of its request descriptor.
+type Key string
+
+// Valid reports whether k has the shape Fingerprint produces (64 hex
+// characters); the disk tier refuses other keys so a corrupted key can
+// never escape the store directory.
+func (k Key) Valid() bool {
+	if len(k) != 2*sha256.Size {
+		return false
+	}
+	for _, c := range k {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Fingerprint computes the content address of an arbitrary request
+// descriptor. The descriptor is marshaled to JSON, re-parsed, and
+// re-serialized canonically — object keys sorted, no insignificant
+// whitespace, numbers kept as their original JSON text — before hashing.
+// Because object keys are sorted, the fingerprint is invariant under
+// struct field reordering: two descriptor types with the same fields in a
+// different declaration order address the same content.
+func Fingerprint(v any) (Key, error) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return "", fmt.Errorf("store: fingerprint marshal: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.UseNumber() // keep number text exact; float64 round-trips would lose 64-bit seeds
+	var tree any
+	if err := dec.Decode(&tree); err != nil {
+		return "", fmt.Errorf("store: fingerprint parse: %w", err)
+	}
+	var b bytes.Buffer
+	if err := writeCanonical(&b, tree); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b.Bytes())
+	return Key(hex.EncodeToString(sum[:])), nil
+}
+
+// writeCanonical serializes a decoded JSON tree deterministically.
+func writeCanonical(b *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null")
+	case bool:
+		if t {
+			b.WriteString("true")
+		} else {
+			b.WriteString("false")
+		}
+	case json.Number:
+		b.WriteString(t.String())
+	case string:
+		enc, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		b.Write(enc)
+	case []any:
+		b.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if err := writeCanonical(b, e); err != nil {
+				return err
+			}
+		}
+		b.WriteByte(']')
+	case map[string]any:
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		b.WriteByte('{')
+		for i, k := range keys {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			enc, err := json.Marshal(k)
+			if err != nil {
+				return err
+			}
+			b.Write(enc)
+			b.WriteByte(':')
+			if err := writeCanonical(b, t[k]); err != nil {
+				return err
+			}
+		}
+		b.WriteByte('}')
+	default:
+		return fmt.Errorf("store: unexpected canonical JSON node %T", v)
+	}
+	return nil
+}

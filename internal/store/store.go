@@ -1,0 +1,180 @@
+// Package store is the content-addressed result cache beneath the sweep
+// scheduler and the HTTP serving layer. A result is addressed by the
+// SHA-256 fingerprint of its canonical request descriptor (experiment id,
+// options, declared parameter space — see Fingerprint), so any two
+// requests for the same computation resolve to the same Key regardless of
+// who asks or how the descriptor struct is laid out.
+//
+// The store is two-tiered: a bounded in-memory LRU tier answers repeated
+// requests without touching the filesystem, and an optional JSON-on-disk
+// tier (one file per key, written atomically via rename) persists results
+// across processes so interrupted sweeps resume from their checkpoints.
+// Payloads are opaque bytes — callers decide the encoding — which is what
+// lets the serving layer return a cached figure bit-identically.
+package store
+
+import (
+	"container/list"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// DefaultMemCapacity bounds the in-memory tier when Open is given a
+// non-positive capacity.
+const DefaultMemCapacity = 256
+
+// Store is a two-tier (memory LRU + disk) content-addressed cache. It is
+// safe for concurrent use. The zero value is not usable; call Open.
+type Store struct {
+	mu     sync.Mutex
+	capMem int
+	dir    string     // "" = memory-only
+	order  *list.List // of Key; front = most recently used
+	mem    map[Key]*memEntry
+
+	// hits/misses/evictions are cumulative counters for observability
+	// (exposed by Stats; the serve layer reports them on /healthz).
+	hits, misses, evictions uint64
+}
+
+type memEntry struct {
+	el   *list.Element
+	data []byte
+}
+
+// Open returns a store rooted at dir, creating it if needed. An empty dir
+// makes the store memory-only; memCapacity <= 0 selects
+// DefaultMemCapacity entries for the LRU tier.
+func Open(dir string, memCapacity int) (*Store, error) {
+	if memCapacity <= 0 {
+		memCapacity = DefaultMemCapacity
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{
+		capMem: memCapacity,
+		dir:    dir,
+		order:  list.New(),
+		mem:    map[Key]*memEntry{},
+	}, nil
+}
+
+// Dir returns the disk-tier root ("" when memory-only).
+func (s *Store) Dir() string { return s.dir }
+
+func (s *Store) path(k Key) string { return filepath.Join(s.dir, string(k)+".json") }
+
+// Get returns the payload stored under k. A memory hit refreshes the
+// entry's LRU position; a disk hit promotes the entry into the memory
+// tier. The second return is false on a clean miss; err is reserved for
+// I/O failures. Callers must not mutate the returned slice.
+func (s *Store) Get(k Key) ([]byte, bool, error) {
+	s.mu.Lock()
+	if e, ok := s.mem[k]; ok {
+		s.order.MoveToFront(e.el)
+		s.hits++
+		data := e.data
+		s.mu.Unlock()
+		return data, true, nil
+	}
+	s.mu.Unlock()
+
+	if s.dir == "" || !k.Valid() {
+		s.miss()
+		return nil, false, nil
+	}
+	data, err := os.ReadFile(s.path(k))
+	if os.IsNotExist(err) {
+		s.miss()
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: read %s: %w", k, err)
+	}
+	s.mu.Lock()
+	s.insertLocked(k, data)
+	s.hits++
+	s.mu.Unlock()
+	return data, true, nil
+}
+
+// Put stores the payload under k in the memory tier and, when the store
+// has a disk root, persists it as <dir>/<key>.json via an atomic
+// write-then-rename (a crash mid-write never leaves a torn entry behind).
+func (s *Store) Put(k Key, data []byte) error {
+	if !k.Valid() {
+		return fmt.Errorf("store: invalid key %q", k)
+	}
+	if s.dir != "" {
+		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
+		if err != nil {
+			return fmt.Errorf("store: put %s: %w", k, err)
+		}
+		_, werr := tmp.Write(data)
+		cerr := tmp.Close()
+		if werr == nil {
+			werr = cerr
+		}
+		if werr == nil {
+			werr = os.Rename(tmp.Name(), s.path(k))
+		}
+		if werr != nil {
+			os.Remove(tmp.Name())
+			return fmt.Errorf("store: put %s: %w", k, werr)
+		}
+	}
+	s.mu.Lock()
+	s.insertLocked(k, data)
+	s.mu.Unlock()
+	return nil
+}
+
+// insertLocked adds or refreshes a memory-tier entry and evicts from the
+// LRU tail beyond capacity. Disk entries are never evicted.
+func (s *Store) insertLocked(k Key, data []byte) {
+	if e, ok := s.mem[k]; ok {
+		e.data = data
+		s.order.MoveToFront(e.el)
+		return
+	}
+	s.mem[k] = &memEntry{el: s.order.PushFront(k), data: data}
+	for s.order.Len() > s.capMem {
+		tail := s.order.Back()
+		s.order.Remove(tail)
+		delete(s.mem, tail.Value.(Key))
+		s.evictions++
+	}
+}
+
+func (s *Store) miss() {
+	s.mu.Lock()
+	s.misses++
+	s.mu.Unlock()
+}
+
+// Len reports the number of entries currently resident in the memory tier.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Stats is a snapshot of the store's cumulative cache counters.
+type Stats struct {
+	MemEntries int    `json:"mem_entries"`
+	Hits       uint64 `json:"hits"`
+	Misses     uint64 `json:"misses"`
+	Evictions  uint64 `json:"evictions"`
+}
+
+// Stats returns a consistent snapshot of the cache counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{MemEntries: s.order.Len(), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+}

@@ -1,0 +1,434 @@
+// Package sweep turns the experiment catalog into schedulable batch work.
+// A Spec names experiment ids and a Grid of option axes (seeds, shot
+// budgets, twirl instances, depth clamps); Cells expands the grid into the
+// cartesian product of concrete (id, Options) cells. A Runner executes
+// cells with bounded concurrency through a Cache, which consults the
+// content-addressed store before computing and checkpoints every computed
+// figure back into it — so an interrupted sweep, restarted with the same
+// spec, resumes from its checkpoints and recomputes nothing that already
+// finished, and a repeated figure request is answered bit-identically from
+// cache.
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"casq/internal/experiments"
+	"casq/internal/store"
+)
+
+// descriptorRev versions the cell descriptor. Bump it when harness
+// internals change in a result-affecting way that the descriptor fields do
+// not capture (device construction, pipeline composition), so stale cached
+// figures are never served for the new code.
+const descriptorRev = 1
+
+// Compute regenerates one figure from scratch. The default is
+// experiments.Run; tests substitute counting or failing stand-ins.
+type Compute func(id string, opts experiments.Options) (experiments.Figure, error)
+
+// Cell is one concrete unit of sweep work: a single experiment at fully
+// bound options.
+type Cell struct {
+	ID   string              `json:"id"`
+	Opts experiments.Options `json:"opts"`
+}
+
+// descriptor is the canonical request identity a Cell hashes to. Workers
+// is deliberately excluded: executor results are bit-identical for every
+// worker count, so parallelism must not fragment the cache.
+type descriptor struct {
+	Rev        int                `json:"rev"`
+	ID         string             `json:"id"`
+	Title      string             `json:"title"`
+	Paper      string             `json:"paper"`
+	Strategies []string           `json:"strategies"`
+	Axes       []experiments.Axis `json:"axes"`
+	Seed       int64              `json:"seed"`
+	Shots      int                `json:"shots"`
+	Instances  int                `json:"instances"`
+	MaxDepth   int                `json:"max_depth"`
+	Fast       bool               `json:"fast"`
+}
+
+// Key returns the cell's content address: the fingerprint of the
+// experiment's declared Spec plus every result-affecting option.
+// MaxDepth acts only through the declared "depth" axis (Spec.Depths is
+// its sole consumer), so for specs without one it is normalized to zero —
+// sweeping max_depths over an axis-free experiment then dedups to a
+// single computation instead of storing identical bytes under many keys.
+func (c Cell) Key() (store.Key, error) {
+	sp, ok := experiments.Lookup(c.ID)
+	if !ok {
+		return "", fmt.Errorf("sweep: unknown experiment %q", c.ID)
+	}
+	maxDepth := c.Opts.MaxDepth
+	if len(sp.AxisValues("depth", c.Opts)) == 0 {
+		maxDepth = 0
+	}
+	return store.Fingerprint(descriptor{
+		Rev:        descriptorRev,
+		ID:         sp.ID,
+		Title:      sp.Title,
+		Paper:      sp.Paper,
+		Strategies: sp.Strategies,
+		Axes:       sp.Axes,
+		Seed:       c.Opts.Seed,
+		Shots:      c.Opts.Shots,
+		Instances:  c.Opts.Instances,
+		MaxDepth:   maxDepth,
+		Fast:       c.Opts.Fast,
+	})
+}
+
+// Cache is the compute-or-cached layer over the result store. The zero
+// Compute means experiments.Run. Concurrent requests for the same key are
+// coalesced: one caller computes, the rest wait and share its result.
+type Cache struct {
+	Store   *store.Store
+	Compute Compute
+
+	mu       sync.Mutex
+	inflight map[store.Key]*flight
+}
+
+// flight is one in-progress computation other requests can wait on.
+type flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// NewCache returns a cache computing through experiments.Run.
+func NewCache(st *store.Store) *Cache { return &Cache{Store: st} }
+
+// Figure returns the JSON-encoded figure for the cell, serving it from the
+// store when present and computing + checkpointing it otherwise. The
+// returned bytes on a hit are the exact bytes stored by the miss that
+// produced them. Only one computation per key runs at a time; callers
+// that join an in-flight computation report a hit (they did no work).
+func (c *Cache) Figure(cell Cell) (data []byte, hit bool, err error) {
+	key, err := cell.Key()
+	if err != nil {
+		return nil, false, err
+	}
+	if data, ok, err := c.Store.Get(key); err != nil {
+		return nil, false, err
+	} else if ok {
+		return data, true, nil
+	}
+
+	c.mu.Lock()
+	if f, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			return nil, false, f.err
+		}
+		return f.data, true, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	if c.inflight == nil {
+		c.inflight = map[store.Key]*flight{}
+	}
+	c.inflight[key] = f
+	c.mu.Unlock()
+	defer func() {
+		f.data, f.err = data, err
+		c.mu.Lock()
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		close(f.done)
+	}()
+
+	compute := c.Compute
+	if compute == nil {
+		compute = c.runResolved
+	}
+	fig, err := compute(cell.ID, cell.Opts)
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: %s: %w", cell.ID, err)
+	}
+	data, err = json.Marshal(fig)
+	if err != nil {
+		return nil, false, fmt.Errorf("sweep: %s: encode: %w", cell.ID, err)
+	}
+	if err := c.Store.Put(key, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// runResolved is the default compute: experiments.Run, except that a
+// spec declaring DerivesFrom resolves its base figure through this cache
+// first — so deriving fig7d reuses a checkpointed fig7c (and checkpoints
+// it on a miss) instead of re-running the whole base simulation.
+func (c *Cache) runResolved(id string, opts experiments.Options) (experiments.Figure, error) {
+	sp, ok := experiments.Lookup(id)
+	if !ok || sp.DerivesFrom == "" {
+		return experiments.Run(id, opts)
+	}
+	baseData, _, err := c.Figure(Cell{ID: sp.DerivesFrom, Opts: opts})
+	if err != nil {
+		return experiments.Figure{}, err
+	}
+	var base experiments.Figure
+	if err := json.Unmarshal(baseData, &base); err != nil {
+		return experiments.Figure{}, fmt.Errorf("decode cached %s: %w", sp.DerivesFrom, err)
+	}
+	return sp.Derive(sp, base, opts)
+}
+
+// Grid declares the option axes of a sweep. Empty axes inherit the base
+// options' value, so the zero Grid sweeps exactly the base configuration.
+type Grid struct {
+	Seeds     []int64 `json:"seeds,omitempty"`
+	Shots     []int   `json:"shots,omitempty"`
+	Instances []int   `json:"instances,omitempty"`
+	MaxDepths []int   `json:"max_depths,omitempty"`
+}
+
+// Spec is a sweep request: which experiments, over which option grid,
+// starting from which base options.
+type Spec struct {
+	// IDs lists experiment ids; empty means the whole catalog.
+	IDs  []string `json:"ids,omitempty"`
+	Grid Grid     `json:"grid"`
+	// Base supplies the option values of un-swept axes. Zero fields mean
+	// "use the default" (the HTTP layer fills them); to sweep a literal
+	// zero — e.g. seed 0 — put it on the corresponding Grid axis, which
+	// is always honored verbatim.
+	Base experiments.Options `json:"base"`
+	// Fast switches the reduced axes (and is part of each cell's cache
+	// identity).
+	Fast bool `json:"fast,omitempty"`
+}
+
+// Cells expands the spec into the cartesian product id × seed × shots ×
+// instances × max-depth, in deterministic order (ids outermost, then the
+// grid axes in declaration order).
+func (s Spec) Cells() ([]Cell, error) {
+	ids := s.IDs
+	if len(ids) == 0 {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		if _, ok := experiments.Lookup(id); !ok {
+			return nil, fmt.Errorf("sweep: unknown experiment %q", id)
+		}
+	}
+	seeds := s.Grid.Seeds
+	if len(seeds) == 0 {
+		seeds = []int64{s.Base.Seed}
+	}
+	shots := s.Grid.Shots
+	if len(shots) == 0 {
+		shots = []int{s.Base.Shots}
+	}
+	instances := s.Grid.Instances
+	if len(instances) == 0 {
+		instances = []int{s.Base.Instances}
+	}
+	maxDepths := s.Grid.MaxDepths
+	if len(maxDepths) == 0 {
+		maxDepths = []int{s.Base.MaxDepth}
+	}
+	cells := make([]Cell, 0, len(ids)*len(seeds)*len(shots)*len(instances)*len(maxDepths))
+	for _, id := range ids {
+		for _, seed := range seeds {
+			for _, sh := range shots {
+				for _, inst := range instances {
+					for _, md := range maxDepths {
+						opts := s.Base
+						opts.Seed = seed
+						opts.Shots = sh
+						opts.Instances = inst
+						opts.MaxDepth = md
+						opts.Fast = s.Fast || s.Base.Fast
+						cells = append(cells, Cell{ID: id, Opts: opts})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// CellState is the lifecycle of one cell within a Run.
+type CellState string
+
+const (
+	CellPending  CellState = "pending"
+	CellCached   CellState = "cached"   // answered from the store
+	CellComputed CellState = "computed" // freshly computed and checkpointed
+	CellFailed   CellState = "failed"
+	CellSkipped  CellState = "skipped" // sweep interrupted before the cell ran
+)
+
+// Progress is a snapshot of a running or finished sweep.
+type Progress struct {
+	Total    int  `json:"total"`
+	Done     int  `json:"done"` // cached + computed
+	Cached   int  `json:"cached"`
+	Computed int  `json:"computed"`
+	Failed   int  `json:"failed"`
+	Skipped  int  `json:"skipped"`
+	Finished bool `json:"finished"`
+	// Err is the first failure message, if any.
+	Err string `json:"err,omitempty"`
+}
+
+// Run is one scheduled sweep execution.
+type Run struct {
+	cells []Cell
+
+	mu     sync.Mutex
+	states []CellState
+	first  string // first error message
+
+	done chan struct{}
+}
+
+// Cells returns the run's expanded cells (shared slice; read-only).
+func (r *Run) Cells() []Cell { return r.cells }
+
+// Done returns a channel closed when every cell has reached a terminal
+// state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// Wait blocks until the run finishes and returns its final progress.
+func (r *Run) Wait() Progress {
+	<-r.done
+	return r.Progress()
+}
+
+// Progress returns a consistent snapshot of the run.
+func (r *Run) Progress() Progress {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	p := Progress{Total: len(r.cells), Err: r.first}
+	for _, st := range r.states {
+		switch st {
+		case CellCached:
+			p.Cached++
+		case CellComputed:
+			p.Computed++
+		case CellFailed:
+			p.Failed++
+		case CellSkipped:
+			p.Skipped++
+		}
+	}
+	p.Done = p.Cached + p.Computed
+	select {
+	case <-r.done:
+		p.Finished = true
+	default:
+	}
+	return p
+}
+
+// States returns a copy of the per-cell states, index-aligned with Cells.
+func (r *Run) States() []CellState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]CellState, len(r.states))
+	copy(out, r.states)
+	return out
+}
+
+func (r *Run) set(i int, st CellState, err error) {
+	r.mu.Lock()
+	r.states[i] = st
+	if err != nil && r.first == "" {
+		r.first = err.Error()
+	}
+	r.mu.Unlock()
+}
+
+// Runner schedules sweeps through a cache with bounded concurrency.
+type Runner struct {
+	Cache *Cache
+	// Workers is the sweep's total parallelism budget; 0 means GOMAXPROCS.
+	// Like the executor's unified budget, it is split between cell-level
+	// fan-out and each cell's own executor: a wide sweep runs many cells
+	// whose Options.Workers default to 1, a narrow sweep hands the spare
+	// budget to each cell's executor. An explicit cell Options.Workers is
+	// respected (it never changes results — only parallelism).
+	Workers int
+}
+
+// Start expands the spec and launches its cells in the background,
+// returning the Run handle immediately. Cells whose results are already
+// checkpointed in the store are marked cached without recomputation —
+// restarting an interrupted sweep therefore resumes where it stopped.
+// Cancelling ctx stops claiming new cells; cells never started are marked
+// skipped.
+func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
+	cells, err := spec.Cells()
+	if err != nil {
+		return nil, err
+	}
+	run := &Run{
+		cells:  cells,
+		states: make([]CellState, len(cells)),
+		done:   make(chan struct{}),
+	}
+	for i := range run.states {
+		run.states[i] = CellPending
+	}
+	// Split one parallelism budget between cell fan-out and each cell's
+	// executor (mirroring exec's unified worker budget): running
+	// GOMAXPROCS cells that each default to GOMAXPROCS simulator workers
+	// would oversubscribe the machine quadratically.
+	budget := r.Workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers := budget
+	if workers > len(cells) {
+		workers = max(1, len(cells))
+	}
+	perCell := max(1, budget/workers)
+
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				if ctx.Err() != nil {
+					run.set(i, CellSkipped, nil)
+					continue
+				}
+				cell := cells[i]
+				if cell.Opts.Workers == 0 {
+					cell.Opts.Workers = perCell
+				}
+				_, hit, err := r.Cache.Figure(cell)
+				switch {
+				case err != nil:
+					run.set(i, CellFailed, err)
+				case hit:
+					run.set(i, CellCached, nil)
+				default:
+					run.set(i, CellComputed, nil)
+				}
+			}
+		}()
+	}
+	go func() {
+		defer close(run.done)
+		for i := range cells {
+			indices <- i
+		}
+		close(indices)
+		wg.Wait()
+	}()
+	return run, nil
+}

@@ -1,0 +1,90 @@
+// Command doclint enforces the repository's documentation floor: every Go
+// package (every directory containing non-test .go files) must carry a
+// package doc comment on at least one of its files. CI runs it so `go doc`
+// stays useful end to end; it exits non-zero listing each undocumented
+// package.
+//
+// Usage:
+//
+//	go run ./tools/doclint [root]
+//
+// root defaults to the current directory. Hidden directories, testdata,
+// and vendor are skipped.
+package main
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	undocumented, err := lint(root)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doclint: %v\n", err)
+		os.Exit(1)
+	}
+	if len(undocumented) > 0 {
+		fmt.Fprintln(os.Stderr, "doclint: packages without a package doc comment:")
+		for _, dir := range undocumented {
+			fmt.Fprintf(os.Stderr, "  %s\n", dir)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("doclint: all packages documented")
+}
+
+// lint returns the package directories under root lacking a doc comment.
+func lint(root string) ([]string, error) {
+	// dir -> has at least one doc comment among its non-test files
+	documented := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		f, perr := parser.ParseFile(fset, path, nil, parser.PackageClauseOnly|parser.ParseComments)
+		if perr != nil {
+			return fmt.Errorf("parse %s: %w", path, perr)
+		}
+		if _, seen := documented[dir]; !seen {
+			documented[dir] = false
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			documented[dir] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for dir, ok := range documented {
+		if !ok {
+			out = append(out, dir)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}

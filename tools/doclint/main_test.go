@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLint(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "good", "a.go"), "// Package good is documented.\npackage good\n")
+	write(t, filepath.Join(root, "bad", "b.go"), "package bad\n")
+	// Doc on any one file of the package suffices.
+	write(t, filepath.Join(root, "split", "one.go"), "package split\n")
+	write(t, filepath.Join(root, "split", "doc.go"), "// Package split is documented in doc.go.\npackage split\n")
+	// Test files and skipped directories don't count either way.
+	write(t, filepath.Join(root, "bad", "b_test.go"), "// Package bad looks documented only in tests.\npackage bad\n")
+	write(t, filepath.Join(root, "testdata", "ignored.go"), "package ignored\n")
+	write(t, filepath.Join(root, ".hidden", "h.go"), "package h\n")
+
+	got, err := lint(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != filepath.Join(root, "bad") {
+		t.Errorf("lint = %v, want only the bad package", got)
+	}
+}
+
+func TestLintCleanRepo(t *testing.T) {
+	// The repository itself must stay documented (same invariant CI runs).
+	got, err := lint("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("undocumented packages: %v", got)
+	}
+}
