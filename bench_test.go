@@ -20,6 +20,7 @@ import (
 	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/gates"
+	"casq/internal/layout"
 	"casq/internal/models"
 	"casq/internal/pass"
 	"casq/internal/sched"
@@ -338,6 +339,50 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 		}
 		if math.IsNaN(vals[0]) {
 			b.Fatal("NaN expectation")
+		}
+	}
+}
+
+// BenchmarkLayoutRouting measures the compile path of the backend stage:
+// choosing the minimal-predicted-error 6-qubit subregion of the 127-qubit
+// Eagle lattice (candidate enumeration + static filter + toggling-frame
+// scoring of the finalists) and routing the placed circuit. CI archives it
+// as BENCH_compile.json, next to the simulator artifact.
+func BenchmarkLayoutRouting(b *testing.B) {
+	dev, err := device.NewBackend("heavyhex127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := models.BuildFloquetIsing(6, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		pl, err := layout.Choose(dev, c, layout.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, _, err := pl.MapCircuit(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLayoutPipeline127Q compiles the full placed pipeline
+// (layout -> route -> twirl -> sched -> CA-DD) against the Eagle lattice —
+// the end-to-end cost of targeting a full-scale device.
+func BenchmarkLayoutPipeline127Q(b *testing.B) {
+	dev, err := device.NewBackend("heavyhex127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := pass.CADD()
+	pl := pass.New("placed-cadd",
+		append([]pass.Pass{layout.Select(layout.DefaultOptions()), layout.Route()}, base.Passes...)...)
+	c := models.BuildFloquetIsing(6, 2)
+	rng := rand.New(rand.NewSource(3))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pl.Apply(dev, rng, c); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"casq/internal/device"
 	"casq/internal/exec"
 	"casq/internal/experiments"
+	"casq/internal/layout"
 	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/serve"
@@ -31,6 +32,17 @@ type (
 	Instruction = circuit.Instruction
 	// Device is the hardware model with calibration data.
 	Device = device.Device
+	// Topology is the connectivity half of a device; generator families
+	// (line, ring, grid, heavy-hex) build them, Synthesize calibrates them.
+	Topology = device.Topology
+	// Calibration is the measured half of a device: rates, coherence,
+	// errors, durations.
+	Calibration = device.Calibration
+	// DeviceSnapshot is the JSON-serializable export of a device; it
+	// round-trips bit-identically through Fingerprint.
+	DeviceSnapshot = device.Snapshot
+	// BackendInfo describes one named registry backend.
+	BackendInfo = device.BackendInfo
 	// DeviceOptions configure synthetic backend generation.
 	DeviceOptions = device.Options
 	// SimConfig toggles the simulator's noise channels.
@@ -41,6 +53,11 @@ type (
 	ExperimentOptions = experiments.Options
 	// Figure is a regenerated paper figure.
 	Figure = experiments.Figure
+	// LayoutOptions bound the layout stage's candidate search.
+	LayoutOptions = layout.Options
+	// Placement is a chosen embedding of a circuit into a backend, with
+	// the induced sub-device for simulation.
+	Placement = layout.Placement
 )
 
 // Pass-pipeline types.
@@ -159,6 +176,75 @@ func NewLineDevice(name string, n int, opts DeviceOptions) *Device {
 func NewRingDevice(name string, n int, opts DeviceOptions) *Device {
 	return device.NewRing(name, n, opts)
 }
+
+// Backend registry, topology families, and calibration snapshots.
+
+// Backends lists the named backend registry, ordered by size.
+func Backends() []BackendInfo { return device.Backends() }
+
+// NewBackend builds a named registry backend (see Backends).
+func NewBackend(name string) (*Device, error) { return device.NewBackend(name) }
+
+// RegisterBackend adds a custom named backend to the registry; the builder
+// must be deterministic.
+func RegisterBackend(info BackendInfo, build func() *Device) {
+	device.RegisterBackend(info, build)
+}
+
+// HeavyHexTopology builds the parametric heavy-hex lattice: (3, 9) is a
+// 29-qubit Falcon-class patch, (7, 15) the 127-qubit Eagle lattice.
+func HeavyHexTopology(name string, rows, cols int) Topology {
+	return device.HeavyHexTopology(name, rows, cols)
+}
+
+// GridTopology builds a rows x cols square-lattice topology.
+func GridTopology(name string, rows, cols int) Topology {
+	return device.GridTopology(name, rows, cols)
+}
+
+// SynthesizeDevice materializes a topology with a seeded synthetic
+// calibration.
+func SynthesizeDevice(t Topology, opts DeviceOptions) *Device {
+	return device.Synthesize(t, opts)
+}
+
+// SnapshotDevice exports a device (topology + calibration) in canonical
+// JSON-serializable form; DeviceFromSnapshot(d.Snapshot()) rebuilds it
+// bit-identically (same Fingerprint).
+func SnapshotDevice(d *Device) DeviceSnapshot { return d.Snapshot() }
+
+// DeviceFromSnapshot rebuilds a validated device from a snapshot.
+func DeviceFromSnapshot(s DeviceSnapshot) (*Device, error) { return device.FromSnapshot(s) }
+
+// PerturbDevice returns a copy of the device with every calibration value
+// drifted by up to ±drift (deterministic in seed) — the scenario-sweep
+// knob for asking whether a pipeline survives a stale calibration.
+func PerturbDevice(d *Device, seed int64, drift float64) *Device {
+	return d.Perturb(seed, drift)
+}
+
+// Layout and routing: the context-aware placement stage.
+
+// DefaultLayoutOptions returns the standard candidate-search bounds.
+func DefaultLayoutOptions() LayoutOptions { return layout.DefaultOptions() }
+
+// ChooseLayout selects the minimal-predicted-coherent-error embedding of
+// the circuit into the backend, scored by the same toggling-frame
+// integrals CA-EC compensates. The Placement carries the induced
+// sub-device, so simulation cost scales with the circuit, not the backend.
+func ChooseLayout(dev *Device, c *Circuit, opts LayoutOptions) (*Placement, error) {
+	return layout.Choose(dev, c, opts)
+}
+
+// LayoutPass returns the layout-selection pass for pipeline composition:
+// it rewrites the circuit onto the chosen physical qubits of the
+// pipeline's device.
+func LayoutPass(opts LayoutOptions) Pass { return layout.Select(opts) }
+
+// RoutePass returns the SWAP-routing pass: non-adjacent two-qubit gates
+// get shortest-path SWAP chains, and later instructions (including
+// measurements) are rewritten through the wire permutation.
+func RoutePass() Pass { return layout.Route() }
 
 // Strategies benchmarked in the paper.
 var (

@@ -224,3 +224,72 @@ func TestFacadeFingerprint(t *testing.T) {
 		t.Errorf("invalid key %q", k1)
 	}
 }
+
+func TestFacadeBackendsAndLayout(t *testing.T) {
+	infos := casq.Backends()
+	if len(infos) < 9 {
+		t.Fatalf("registry has %d backends", len(infos))
+	}
+	biggest := infos[len(infos)-1]
+	if biggest.NQubits != 127 {
+		t.Fatalf("largest backend is %dq, want the 127-qubit lattice", biggest.NQubits)
+	}
+	dev, err := casq.NewBackend("heavyhex29")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot round trip through the public surface.
+	snap := casq.SnapshotDevice(dev)
+	back, err := casq.DeviceFromSnapshot(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, _ := casq.Fingerprint(snap)
+	k2, _ := casq.Fingerprint(casq.SnapshotDevice(back))
+	if k1 != k2 {
+		t.Error("snapshot fingerprint not stable across import")
+	}
+	if p := casq.PerturbDevice(dev, 3, 0.05); p.Validate() != nil {
+		t.Error("perturbed device invalid")
+	}
+
+	// Place a 4-qubit chain workload and run it on the induced sub-device.
+	c := casq.NewCircuit(4, 0)
+	c.AddLayer(casq.OneQubitLayer).H(0)
+	c.AddLayer(casq.TwoQubitLayer).ECR(0, 1).ECR(2, 3)
+	c.AddLayer(casq.TwoQubitLayer).ECR(1, 2)
+	pl, err := casq.ChooseLayout(dev, c, casq.DefaultLayoutOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed, _, swaps, err := pl.MapCircuit(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if swaps != 0 {
+		t.Errorf("chain workload should embed without SWAPs, got %d", swaps)
+	}
+	ex := casq.NewExecutor(pl.Sub, casq.Build(casq.Twirled()))
+	cfg := casq.DefaultSimConfig()
+	cfg.Shots = 8
+	vals, err := ex.Expectations(context.Background(), placed,
+		[]casq.Observable{{pl.ToSub[0]: 'Z'}}, casq.ExecOptions{Instances: 2, Seed: 5, Cfg: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(vals[0]) {
+		t.Fatal("NaN expectation on the induced sub-device")
+	}
+
+	// Pass composition: layout + route inside an ordinary pipeline.
+	pipe := casq.NewPipeline("placed", casq.LayoutPass(casq.DefaultLayoutOptions()),
+		casq.RoutePass(), casq.SchedulePass())
+	compiled, rep, err := pipe.Apply(dev, rand.New(rand.NewSource(2)), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if compiled.NQubits != dev.NQubits || len(rep.Layout) != 4 {
+		t.Errorf("pipeline placement: %d qubits, layout %v", compiled.NQubits, rep.Layout)
+	}
+}

@@ -8,15 +8,20 @@
 //	casq -workload ising -strategy ca-ec+dd -steps 3 [-draw]
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
+//	casq -workload ising -backend heavyhex127 -strategy ca-dd
 //	casq -list
 //	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
 //
 // The -passes flag composes an arbitrary comma-separated pipeline
 // (orderings the named strategies cannot express, e.g. CA-EC before DD,
-// or DD without twirling); it overrides -strategy. Run `casq -list` for
-// the pass vocabulary. Experiment-level parallelism lives in the sibling
-// experiments command (its -workers flag sets the unified worker budget
-// per data point).
+// or DD without twirling); it overrides -strategy. The -backend flag
+// retargets the workload onto a named registry backend: the layout and
+// routing passes are prepended, so the compiler picks the subregion with
+// the least predicted coherent error and legalizes any non-adjacent
+// gates with SWAPs. Run `casq -list` for the workload, strategy, pass,
+// and backend vocabularies. Experiment-level parallelism lives in the
+// sibling experiments command (its -workers flag sets the unified worker
+// budget per data point).
 //
 // `casq serve` answers GET /figures/{id} from the store — the first
 // request computes and checkpoints the figure, repeats stream the same
@@ -36,6 +41,7 @@ import (
 	"casq/internal/circuit"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/layout"
 	"casq/internal/models"
 	"casq/internal/pass"
 	"casq/internal/twirl"
@@ -91,6 +97,8 @@ var passTable = []struct {
 	{"dd:aligned", func() pass.Pass { return pass.DD(ddOptions(dd.Aligned)) }},
 	{"dd:staggered", func() pass.Pass { return pass.DD(ddOptions(dd.Staggered)) }},
 	{"ec", func() pass.Pass { return pass.EC(caec.DefaultOptions()) }},
+	{"layout", func() pass.Pass { return layout.Select(layout.DefaultOptions()) }},
+	{"route", func() pass.Pass { return layout.Route() }},
 }
 
 func ddOptions(s dd.Strategy) dd.Options {
@@ -135,10 +143,11 @@ func main() {
 		workload = flag.String("workload", "ising", "workload name (see -list)")
 		strategy = flag.String("strategy", "ca-ec+dd", "strategy name (see -list)")
 		passes   = flag.String("passes", "", "comma-separated custom pipeline, e.g. twirl,sched,ec,sched,dd:aligned (overrides -strategy)")
+		backend  = flag.String("backend", "", "compile onto a named registry backend via layout+routing (see -list)")
 		steps    = flag.Int("steps", 2, "workload depth")
 		seed     = flag.Int64("seed", 7, "twirl seed")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
-		list     = flag.Bool("list", false, "list workloads, strategies and passes")
+		list     = flag.Bool("list", false, "list workloads, strategies, passes and backends")
 	)
 	flag.Parse()
 
@@ -146,6 +155,10 @@ func main() {
 		fmt.Printf("workloads:  %s\n", strings.Join(sortedKeys(workloads), " "))
 		fmt.Printf("strategies: %s\n", strings.Join(sortedKeys(strategies), " "))
 		fmt.Printf("passes:     %s\n", strings.Join(passNames(), " "))
+		fmt.Printf("backends:\n")
+		for _, b := range device.Backends() {
+			fmt.Printf("  %-12s %3dq %-10s %s\n", b.Name, b.NQubits, b.Family, b.Description)
+		}
 		return
 	}
 	wf, ok := workloads[*workload]
@@ -174,6 +187,16 @@ func main() {
 		pl = pf()
 	}
 	dev, circ := wf(*steps)
+	if *backend != "" {
+		bdev, err := device.NewBackend(*backend)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		dev = bdev
+		pl = pass.New(pl.Name+"@"+*backend,
+			append([]pass.Pass{layout.Select(layout.DefaultOptions()), layout.Route()}, pl.Passes...)...)
+	}
 	compiled, rep, err := pl.Apply(dev, rand.New(rand.NewSource(*seed)), circ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -181,6 +204,10 @@ func main() {
 	}
 	fmt.Printf("workload %s on %s (%d qubits), pipeline %s\n", *workload, dev.Name, dev.NQubits, pl)
 	fmt.Printf("compiled: %d layers, duration %.0f ns\n", compiled.Depth(), rep.Duration)
+	if rep.Layout != nil {
+		fmt.Printf("layout: logical->physical %v (predicted error %.3f rad), %d routing SWAPs\n",
+			rep.Layout, rep.LayoutScore, rep.Swaps)
+	}
 	if rep.DD.Total > 0 {
 		fmt.Printf("DD: %d pulses over %d windows\n", rep.DD.Total, len(rep.DD.Windows))
 		for _, w := range rep.DD.Windows {

@@ -30,7 +30,8 @@ func serveMain(args []string) {
 		fmt.Fprintf(fs.Output(), `
 endpoints:
   GET  /experiments   experiment catalog with declared parameter axes
-  GET  /figures/{id}  one figure (query: seed, shots, instances, maxdepth, fast)
+  GET  /backends      named device registry (sizes, topology families)
+  GET  /figures/{id}  one figure (query: seed, shots, instances, maxdepth, fast, backend)
   POST /sweeps        submit a sweep spec; returns its id
   GET  /sweeps/{id}   sweep progress
   GET  /healthz       liveness + cache counters

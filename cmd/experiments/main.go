@@ -5,12 +5,16 @@
 //
 //	experiments -list
 //	experiments -id fig8 [-fast] [-shots N] [-instances K] [-seed S] [-workers W]
+//	experiments -id fig6 -backend heavyhex29
 //	experiments -all [-fast]
 //
 // -workers sets the unified parallelism budget per data point (twirl
 // instances × simulator shots; 0 = GOMAXPROCS). Results are bit-identical
-// for every worker count. For cached, service-style access to the same
-// figures, run `casq serve` instead.
+// for every worker count. -backend retargets a figure onto a named
+// registry backend (experiments that declare backend support only): the
+// layout stage places the workload on the least-noisy subregion and the
+// simulation runs on the induced sub-device. For cached, service-style
+// access to the same figures, run `casq serve` instead.
 package main
 
 import (
@@ -32,6 +36,7 @@ func main() {
 		instances = flag.Int("instances", 0, "override twirl instances per point")
 		workers   = flag.Int("workers", 0, "concurrent twirl instances per point (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 0, "override random seed")
+		backend   = flag.String("backend", "", "run on a named registry backend (see casq -list)")
 	)
 	flag.Parse()
 
@@ -57,6 +62,7 @@ func main() {
 	if *seed != 0 {
 		opts.Seed = *seed
 	}
+	opts.Backend = *backend
 
 	ids := []string{}
 	switch {

@@ -3,7 +3,7 @@
 // Computers via Context-Aware Compiling" (Seif et al., ISCA 2024,
 // arXiv:2403.06852).
 //
-// The public API is built around three composable subsystems:
+// The public API is built around four composable subsystems:
 //
 //   - a pass pipeline: every compiler transformation (Pauli twirling,
 //     scheduling, Context-Aware Dynamical Decoupling — Algorithm 1 — and
@@ -20,6 +20,16 @@
 //     and the simulator's shot-level fan-out (a single-instance job
 //     parallelizes over shots instead of running serially; see DESIGN.md,
 //     "Unified worker budget");
+//   - a backend registry with context-aware placement: Backends names
+//     full-scale calibrated devices (line/ring/grid families and the
+//     parametric heavy-hex lattice up to the 127-qubit Eagle geometry),
+//     each exportable as a bit-stable JSON snapshot (SnapshotDevice /
+//     DeviceFromSnapshot) and driftable for scenario sweeps
+//     (PerturbDevice). ChooseLayout embeds a circuit into a backend on
+//     the subregion with the least predicted coherent error — scored by
+//     the same toggling-frame integrals CA-EC compensates — and
+//     LayoutPass/RoutePass compose the placement and SWAP-routing stages
+//     into any pipeline;
 //   - an experiment service: every paper figure is declared in a catalog
 //     (ExperimentCatalog) with its parameter axes; OpenResultStore +
 //     NewFigureCache answer repeated figure requests from a

@@ -20,8 +20,8 @@ func main() {
 	devOpts.ZZMin, devOpts.ZZMax = 90e3, 160e3
 	devOpts.Err2Q = 1.1e-2
 	devOpts.QuasistaticSigma = 3e3
+	devOpts.ZZOverride = []device.EdgeRate{{A: 1, B: 2, Hz: 230e3}} // near-collision Ctrl-Ctrl pair (Q37-Q38)
 	dev, layer, labels := layerfid.BenchmarkLayerDevice(devOpts)
-	dev.ZZ[device.NewEdge(1, 2)] = 230e3 // near-collision Ctrl-Ctrl pair (Q37-Q38)
 
 	fmt.Println("benchmark layer: ECR(37->52), ECR(38->39), ECR(58->57); idle 40, 56, 59, 60")
 	fmt.Printf("qubit labels: %v\n\n", labels)

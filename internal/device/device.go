@@ -1,8 +1,20 @@
-// Package device models the quantum processor the compiler targets: qubit
-// connectivity, fixed ECR directions, and the calibration data the paper's
-// passes consume (always-on ZZ rates, Stark shifts, charge-parity
-// frequencies, NNN collision edges, coherence times, gate errors and
-// durations, readout errors).
+// Package device models the quantum processors the compiler targets. It is
+// organized as a Topology / Calibration split:
+//
+//   - Topology (topology.go) is pure connectivity — qubit count, directed
+//     couplers, collision NNN pairs — with first-class generator families:
+//     line, ring, grid, and the parametric heavy-hex lattice up to the
+//     127-qubit Eagle geometry.
+//   - Calibration is the measured half a context-aware compiler consumes:
+//     always-on ZZ rates, Stark shifts, charge-parity frequencies,
+//     coherence times, gate/readout errors and durations. It is
+//     JSON-serializable through Snapshot (snapshot.go) so calibrations can
+//     be exported, re-imported bit-identically, and perturbed for drift
+//     scenario sweeps.
+//   - Device = materialized Topology + Calibration. Synthesize draws a
+//     seeded synthetic calibration for a topology; the backend registry
+//     (registry.go) names ready-made devices from 6 to 127 qubits that the
+//     experiment layers address by name.
 //
 // The paper runs on IBM Quantum backends; casq substitutes seeded synthetic
 // backends whose parameters sit in the ranges the paper reports (ZZ of tens
@@ -20,7 +32,10 @@ import (
 )
 
 // Edge is a normalized undirected qubit pair (A < B).
-type Edge struct{ A, B int }
+type Edge struct {
+	A int `json:"a"`
+	B int `json:"b"`
+}
 
 // NewEdge normalizes the pair ordering.
 func NewEdge(a, b int) Edge {
@@ -32,18 +47,16 @@ func NewEdge(a, b int) Edge {
 
 // Directed is an ordered qubit pair, used for ECR direction and for Stark
 // shifts (drive on Src shifts Dst).
-type Directed struct{ Src, Dst int }
+type Directed struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
 
-// Device carries topology plus calibration.
-type Device struct {
-	Name    string
-	NQubits int
-
-	// Topology.
-	Edges    []Edge            // nearest-neighbor couplings
-	NNNEdges []Edge            // collision-enhanced next-nearest-neighbor couplings
-	ECRDir   map[Edge]Directed // fixed (control, target) per coupled edge
-
+// Calibration is the measured half of a device: every rate, coherence time,
+// error probability, and duration the context-aware passes read. It is
+// deliberately free of connectivity — the same struct can be exported,
+// drifted, and re-attached to its topology (see Snapshot and Perturb).
+type Calibration struct {
 	// Coherent crosstalk calibration (Hz).
 	ZZ    map[Edge]float64     // always-on ZZ rate nu per edge (NN and NNN)
 	Stark map[Directed]float64 // Stark shift on Dst while a gate drives Src
@@ -70,6 +83,45 @@ type Device struct {
 	// RotaryResidual in [0,1]: fraction of crosstalk involving an ECR target
 	// that survives the rotary echo (0 = perfect rotary suppression).
 	RotaryResidual float64
+}
+
+// Clone deep-copies the calibration.
+func (c Calibration) Clone() Calibration {
+	out := c
+	out.ZZ = make(map[Edge]float64, len(c.ZZ))
+	for k, v := range c.ZZ {
+		out.ZZ[k] = v
+	}
+	out.Stark = make(map[Directed]float64, len(c.Stark))
+	for k, v := range c.Stark {
+		out.Stark[k] = v
+	}
+	out.Err2Q = make(map[Edge]float64, len(c.Err2Q))
+	for k, v := range c.Err2Q {
+		out.Err2Q[k] = v
+	}
+	out.Delta = append([]float64(nil), c.Delta...)
+	out.Quasistatic = append([]float64(nil), c.Quasistatic...)
+	out.T1 = append([]float64(nil), c.T1...)
+	out.T2 = append([]float64(nil), c.T2...)
+	out.Err1Q = append([]float64(nil), c.Err1Q...)
+	out.ReadoutErr = append([]float64(nil), c.ReadoutErr...)
+	return out
+}
+
+// Device is a materialized target: a topology plus the derived edge tables
+// the passes index, plus its calibration.
+type Device struct {
+	Topology
+
+	// Materialized connectivity, derived from Topology.Couplers/NNN: the
+	// sorted NN edge list, the collision NNN edges, and the ECR direction
+	// per coupled edge.
+	Edges    []Edge
+	NNNEdges []Edge
+	ECRDir   map[Edge]Directed
+
+	Calibration
 }
 
 // HasEdge reports whether (a, b) is a NN coupling.
@@ -177,6 +229,20 @@ type Options struct {
 	DurMeas            float64
 	DurFF              float64
 	RotaryResidual     float64
+
+	// ZZOverride pins specific edges' ZZ rates after synthesis (and before
+	// validation) — the supported way to place a near-collision pair on a
+	// synthetic backend. Overriding an edge the topology does not couple
+	// panics: a typo must not silently synthesize a clean device.
+	ZZOverride []EdgeRate
+}
+
+// EdgeRate names one edge's rate in Hz; used for calibration overrides and
+// for the JSON snapshot encoding of the per-edge maps.
+type EdgeRate struct {
+	A  int     `json:"a"`
+	B  int     `json:"b"`
+	Hz float64 `json:"hz"`
 }
 
 // DefaultOptions returns parameter ranges representative of the paper's
@@ -206,27 +272,32 @@ func DefaultOptions() Options {
 	}
 }
 
-// NewSynthetic builds a device from a topology (edges with ECR directions
-// given by the order (control, target)) and options. Parameters are drawn
-// deterministically from the seed.
-func NewSynthetic(name string, nQubits int, directedEdges []Directed, nnn []Edge, opts Options) *Device {
+// Synthesize materializes a topology into a device with a seeded synthetic
+// calibration. Parameters are drawn deterministically from opts.Seed,
+// coupler by coupler in the topology's declaration order, then qubit by
+// qubit — the draw order is part of the device identity.
+func Synthesize(t Topology, opts Options) *Device {
+	if err := t.Validate(); err != nil {
+		panic(err.Error())
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	uniform := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
 
 	d := &Device{
-		Name:           name,
-		NQubits:        nQubits,
-		ECRDir:         map[Edge]Directed{},
-		ZZ:             map[Edge]float64{},
-		Stark:          map[Directed]float64{},
-		Err2Q:          map[Edge]float64{},
-		Dur1Q:          opts.Dur1Q,
-		DurECR:         opts.DurECR,
-		DurMeas:        opts.DurMeas,
-		DurFF:          opts.DurFF,
-		RotaryResidual: opts.RotaryResidual,
+		Topology: t,
+		ECRDir:   map[Edge]Directed{},
+		Calibration: Calibration{
+			ZZ:             map[Edge]float64{},
+			Stark:          map[Directed]float64{},
+			Err2Q:          map[Edge]float64{},
+			Dur1Q:          opts.Dur1Q,
+			DurECR:         opts.DurECR,
+			DurMeas:        opts.DurMeas,
+			DurFF:          opts.DurFF,
+			RotaryResidual: opts.RotaryResidual,
+		},
 	}
-	for _, de := range directedEdges {
+	for _, de := range t.Couplers {
 		e := NewEdge(de.Src, de.Dst)
 		d.Edges = append(d.Edges, e)
 		d.ECRDir[e] = de
@@ -241,11 +312,11 @@ func NewSynthetic(name string, nQubits int, directedEdges []Directed, nnn []Edge
 		}
 		return d.Edges[i].B < d.Edges[j].B
 	})
-	for _, e := range nnn {
+	for _, e := range t.NNN {
 		d.NNNEdges = append(d.NNNEdges, e)
 		d.ZZ[e] = opts.NNNCollision
 	}
-	for q := 0; q < nQubits; q++ {
+	for q := 0; q < t.NQubits; q++ {
 		d.Delta = append(d.Delta, rng.Float64()*opts.DeltaMax)
 		d.Quasistatic = append(d.Quasistatic, opts.QuasistaticSigma*uniform(0.7, 1.3))
 		t1 := uniform(opts.T1Min, opts.T1Max)
@@ -258,7 +329,117 @@ func NewSynthetic(name string, nQubits int, directedEdges []Directed, nnn []Edge
 		d.Err1Q = append(d.Err1Q, opts.Err1Q*uniform(0.6, 1.5))
 		d.ReadoutErr = append(d.ReadoutErr, opts.ReadoutErr*uniform(0.6, 1.5))
 	}
+	if len(opts.ZZOverride) > 0 {
+		for _, ov := range opts.ZZOverride {
+			e := NewEdge(ov.A, ov.B)
+			if _, ok := d.ZZ[e]; !ok {
+				panic(fmt.Sprintf("device: ZZ override on uncoupled edge %v of %s", e, t.Name))
+			}
+			d.ZZ[e] = ov.Hz
+		}
+		if err := d.Validate(); err != nil {
+			panic(err.Error())
+		}
+	}
 	return d
+}
+
+// NewSynthetic builds a device from a topology (edges with ECR directions
+// given by the order (control, target)) and options. It is Synthesize over
+// an anonymous Topology.
+func NewSynthetic(name string, nQubits int, directedEdges []Directed, nnn []Edge, opts Options) *Device {
+	return Synthesize(Topology{Name: name, NQubits: nQubits, Couplers: directedEdges, NNN: nnn}, opts)
+}
+
+// Induced returns the sub-device on the given physical qubits under the
+// new name, with qubit indices compacted to 0..len(qubits)-1 in ascending
+// physical order. Couplers, NNN edges, and every calibration table are
+// restricted to the region and reindexed; crosstalk edges leaving the
+// region are dropped (callers that care about boundary coupling must
+// account for it before inducing — the layout scorer does). The second
+// return value maps new index -> original physical qubit.
+func (d *Device) Induced(name string, qubits []int) (*Device, []int, error) {
+	phys := append([]int(nil), qubits...)
+	sort.Ints(phys)
+	idx := make(map[int]int, len(phys))
+	for i, q := range phys {
+		if q < 0 || q >= d.NQubits {
+			return nil, nil, fmt.Errorf("device: induced qubit %d out of range", q)
+		}
+		if _, dup := idx[q]; dup {
+			return nil, nil, fmt.Errorf("device: induced qubit %d repeated", q)
+		}
+		idx[q] = i
+	}
+	t := Topology{Name: name, NQubits: len(phys)}
+	for _, c := range d.Couplers {
+		si, sok := idx[c.Src]
+		di, dok := idx[c.Dst]
+		if sok && dok {
+			t.Couplers = append(t.Couplers, Directed{si, di})
+		}
+	}
+	for _, e := range d.Topology.NNN {
+		ai, aok := idx[e.A]
+		bi, bok := idx[e.B]
+		if aok && bok {
+			t.NNN = append(t.NNN, NewEdge(ai, bi))
+		}
+	}
+	sub := &Device{Topology: t, ECRDir: map[Edge]Directed{}, Calibration: Calibration{
+		ZZ:             map[Edge]float64{},
+		Stark:          map[Directed]float64{},
+		Err2Q:          map[Edge]float64{},
+		Dur1Q:          d.Dur1Q,
+		DurECR:         d.DurECR,
+		DurMeas:        d.DurMeas,
+		DurFF:          d.DurFF,
+		RotaryResidual: d.RotaryResidual,
+	}}
+	for _, c := range t.Couplers {
+		sub.Edges = append(sub.Edges, NewEdge(c.Src, c.Dst))
+		sub.ECRDir[NewEdge(c.Src, c.Dst)] = c
+	}
+	sort.Slice(sub.Edges, func(i, j int) bool {
+		if sub.Edges[i].A != sub.Edges[j].A {
+			return sub.Edges[i].A < sub.Edges[j].A
+		}
+		return sub.Edges[i].B < sub.Edges[j].B
+	})
+	sub.NNNEdges = append(sub.NNNEdges, t.NNN...)
+	for e, v := range d.ZZ {
+		ai, aok := idx[e.A]
+		bi, bok := idx[e.B]
+		if aok && bok {
+			sub.ZZ[NewEdge(ai, bi)] = v
+		}
+	}
+	for dir, v := range d.Stark {
+		si, sok := idx[dir.Src]
+		di, dok := idx[dir.Dst]
+		if sok && dok {
+			sub.Stark[Directed{si, di}] = v
+		}
+	}
+	for e, v := range d.Err2Q {
+		ai, aok := idx[e.A]
+		bi, bok := idx[e.B]
+		if aok && bok {
+			sub.Err2Q[NewEdge(ai, bi)] = v
+		}
+	}
+	for _, q := range phys {
+		sub.Delta = append(sub.Delta, d.Delta[q])
+		sub.Quasistatic = append(sub.Quasistatic, d.Quasistatic[q])
+		sub.T1 = append(sub.T1, d.T1[q])
+		sub.T2 = append(sub.T2, d.T2[q])
+		sub.Err1Q = append(sub.Err1Q, d.Err1Q[q])
+		sub.ReadoutErr = append(sub.ReadoutErr, d.ReadoutErr[q])
+	}
+	if err := sub.Validate(); err != nil {
+		return nil, nil, fmt.Errorf("device: induced %s: %w", name, err)
+	}
+	return sub, phys, nil
 }
 
 // LineEdges returns directed edges of an n-qubit line with alternating ECR
@@ -285,14 +466,14 @@ func RingEdges(n int) []Directed {
 
 // NewLine builds a synthetic n-qubit linear device.
 func NewLine(name string, n int, opts Options) *Device {
-	return NewSynthetic(name, n, LineEdges(n), nil, opts)
+	return Synthesize(LineTopology(name, n), opts)
 }
 
 // NewRing builds a synthetic n-qubit ring device, as used for the 12-spin
 // Heisenberg experiment (paper Fig. 7: a ring embedded in the heavy-hex
 // lattice).
 func NewRing(name string, n int, opts Options) *Device {
-	return NewSynthetic(name, n, RingEdges(n), nil, opts)
+	return Synthesize(RingTopology(name, n), opts)
 }
 
 // NewLayerFidelityDevice builds the 10-qubit fragment used in the paper's

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/layout"
+	"casq/internal/sim"
+)
+
+// embedding is a harness-side handle on a backend placement: it rewrites
+// each depth's circuit and the observables onto the induced sub-device.
+type embedding struct {
+	place *layout.Placement
+}
+
+// embedOnBackend resolves a named registry backend and chooses the
+// minimal-predicted-error sub-layout for the probe circuit (the deepest
+// instance of the workload, so one placement serves the whole depth
+// sweep). Harnesses simulate on the induced sub-device — simulator cost
+// scales with the workload, not with the 127-qubit lattice.
+func embedOnBackend(name string, probe *circuit.Circuit) (*device.Device, *embedding, error) {
+	big, err := device.NewBackend(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	pl, err := layout.Choose(big, probe, layout.DefaultOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("embed on %s: %w", name, err)
+	}
+	return pl.Sub, &embedding{place: pl}, nil
+}
+
+// Circuit maps one workload instance onto the sub-device (remap + route)
+// and returns it with the observables rewritten through the final wire
+// positions.
+func (e *embedding) Circuit(c *circuit.Circuit, obs []sim.ObsSpec) (*circuit.Circuit, []sim.ObsSpec, error) {
+	if e == nil {
+		return c, obs, nil
+	}
+	routed, final, _, err := e.place.MapCircuit(c)
+	if err != nil {
+		return nil, nil, err
+	}
+	mapped := make([]sim.ObsSpec, len(obs))
+	for i, o := range obs {
+		m := sim.ObsSpec{}
+		for q, p := range o {
+			m[final[e.place.ToSub[q]]] = p
+		}
+		mapped[i] = m
+	}
+	return routed, mapped, nil
+}
+
+// Notef describes the placement for the figure notes.
+func (e *embedding) Notef(fig *Figure) {
+	if e == nil {
+		return
+	}
+	p := e.place
+	fig.Notef("backend %s: layout %v (region %v), predicted error %.3f rad",
+		p.Backend, p.Phys, p.Region, p.Score)
+}

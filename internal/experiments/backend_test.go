@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"casq/internal/device"
+	"casq/internal/store"
+)
+
+// TestDefaultBackendGolden pins the default-device results of a sample of
+// figure harnesses across refactors: the backend/layout machinery must be
+// bit-invisible when Options.Backend is empty. Fingerprints captured on
+// the pre-registry harnesses.
+func TestDefaultBackendGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	golden := map[string]store.Key{
+		"fig5":  "196ba93ed1438e3e7c40e7e94d39ab0bf115732f1adf674cc54463a45fef2c58",
+		"fig6":  "00b6f4170571e31a40c330b7f3af61efd337db690002df024909deafed59c832",
+		"fig7c": "42f95b77b468bf4c909f5201846a6dcdce3229f7634fd38b9925b5c44532cb07",
+		"fig8":  "d85149fc26529b0e2cf7ababc42adebd29732db8aa62c2f14e2b49e2687d3c33",
+		"fig9":  "d2dde412db75fe44c3704a47b344f47c9c6cf1ef731b338ecd0354d388af1333",
+	}
+	o := FastOptions()
+	o.Shots = 16
+	o.Instances = 2
+	o.MaxDepth = 2
+	for id, want := range golden {
+		fig, err := Run(id, o)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		got, err := store.Fingerprint(fig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: default-backend result drifted: fingerprint %s, want %s", id, got, want)
+		}
+	}
+}
+
+// TestFig6OnRegistryBackend runs the Ising figure end-to-end on a
+// 29-qubit heavy-hex backend: the layout stage must place the 6-qubit
+// chain on coupled qubits (zero SWAPs for a path workload) and the
+// physics must survive — CA-EC still beats bare twirling at depth.
+func TestFig6OnRegistryBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := FastOptions()
+	o.Shots = 32
+	o.Instances = 2
+	o.MaxDepth = 3
+	o.Backend = "heavyhex29"
+	fig, err := Run("fig6", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) < 4 {
+		t.Fatalf("fig6 produced %d series", len(fig.Series))
+	}
+	last := map[string]float64{}
+	for _, s := range fig.Series {
+		last[s.Label] = s.Y[len(s.Y)-1]
+	}
+	d := last["ideal"] - last["ca-ec"]
+	if d < 0 {
+		d = -d
+	}
+	if d > 0.35 {
+		t.Errorf("CA-EC far from ideal on the backend: %v vs %v", last["ca-ec"], last["ideal"])
+	}
+	sawBackend := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "backend heavyhex29") {
+			sawBackend = true
+		}
+	}
+	if !sawBackend {
+		t.Error("figure notes do not record the backend placement")
+	}
+}
+
+// TestFig7OnRegistryBackend embeds the 12-spin Heisenberg ring in the
+// heavy-hex lattice (its smallest plaquette is exactly a 12-cycle).
+func TestFig7OnRegistryBackend(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	o := Options{Seed: 11, Shots: 16, Instances: 2, MaxDepth: 2, Backend: "heavyhex29"}
+	fig, err := Run("fig7c", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) < 5 {
+		t.Fatalf("fig7c produced %d series", len(fig.Series))
+	}
+	for _, s := range fig.Series {
+		if len(s.Y) == 0 {
+			t.Errorf("series %s is empty", s.Label)
+		}
+	}
+}
+
+// TestBackendValidation pins the registry-level checks: undeclared
+// backends are rejected per experiment, unknown ones by the device
+// registry.
+func TestBackendValidation(t *testing.T) {
+	o := fastOpts()
+	o.Backend = "heavyhex29"
+	if _, err := Run("fig8", o); err == nil {
+		t.Error("fig8 does not declare backends and must reject one")
+	}
+	o.Backend = "not-a-backend"
+	if _, err := Run("fig6", o); err == nil {
+		t.Error("unknown backend must error")
+	}
+	for _, sp := range Catalog() {
+		for _, b := range sp.Backends {
+			if _, ok := device.LookupBackend(b); !ok {
+				t.Errorf("%s declares unknown backend %q", sp.ID, b)
+			}
+		}
+	}
+}

@@ -120,6 +120,13 @@ type Options struct {
 	MaxDepth  int // depth sweep limit
 	Workers   int // concurrent twirl instances per point; 0 = GOMAXPROCS
 	Fast      bool
+	// Backend names a registry backend (device.Backends) to run on instead
+	// of the harness's built-in device: the workload is embedded by the
+	// layout stage onto the subregion with the least predicted coherent
+	// error, routed, and simulated on the induced sub-device. Empty means
+	// the figure's own default device, bit-identical to earlier releases.
+	// Only experiments declaring the backend in Spec.Backends support this.
+	Backend string
 }
 
 // DefaultOptions is the full-quality configuration used to produce

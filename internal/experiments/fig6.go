@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"casq/internal/circuit"
 	"casq/internal/core"
 	"casq/internal/device"
 	"casq/internal/exec"
@@ -25,12 +26,30 @@ func Fig6Ising(sp Spec, opts Options) (Figure, error) {
 	n := 6
 
 	depths := sp.Depths(opts)
-	obs := []sim.ObsSpec{{0: 'X', 5: 'X'}}
+	baseObs := []sim.ObsSpec{{0: 'X', 5: 'X'}}
+
+	// On a named backend, the layout stage picks the chain's subregion
+	// from the probe (deepest) circuit; the default device passes through
+	// untouched.
+	var emb *embedding
+	if opts.Backend != "" {
+		var err error
+		dev, emb, err = embedOnBackend(opts.Backend, models.BuildFloquetIsing(n, depths[len(depths)-1]))
+		if err != nil {
+			return fig, fmt.Errorf("fig6: %w", err)
+		}
+	}
+	build := func(d int) (*circuit.Circuit, []sim.ObsSpec, error) {
+		return emb.Circuit(models.BuildFloquetIsing(n, d), baseObs)
+	}
 
 	// Ideal reference.
 	var ix, iy []float64
 	for _, d := range depths {
-		c := models.BuildFloquetIsing(n, d)
+		c, obs, err := build(d)
+		if err != nil {
+			return fig, err
+		}
 		vals, err := core.IdealExpectations(dev, c, obs)
 		if err != nil {
 			return fig, err
@@ -45,7 +64,10 @@ func Fig6Ising(sp Spec, opts Options) (Figure, error) {
 		ex := exec.New(dev, pl)
 		var xs, ys []float64
 		for _, d := range depths {
-			c := models.BuildFloquetIsing(n, d)
+			c, obs, err := build(d)
+			if err != nil {
+				return fig, err
+			}
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots
 			cfg.Seed = opts.Seed + int64(d)*17
@@ -61,5 +83,6 @@ func Fig6Ising(sp Spec, opts Options) (Figure, error) {
 		fig.AddSeries(pl.Name, xs, ys)
 	}
 	fig.Notef("6-qubit chain on %s; boundary qubits idle during odd-even ECR layers (paper Fig. 6b red markers)", dev.Name)
+	emb.Notef(&fig)
 	return fig, nil
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"casq/internal/circuit"
 	"casq/internal/core"
 	"casq/internal/dd"
 	"casq/internal/device"
@@ -43,12 +44,29 @@ func Fig7cHeisenberg(sp Spec, opts Options) (Figure, error) {
 	}
 	dev := device.NewRing("heisenberg", n, devOpts)
 	params := models.DefaultHeisenberg()
-	obs := []sim.ObsSpec{{2: 'Z'}}
+	baseObs := []sim.ObsSpec{{2: 'Z'}}
 	depths := sp.Depths(opts)
+
+	// On a named backend, embed the ring via the layout stage (heavy-hex
+	// hosts a 12-ring natively — its smallest plaquette is 12 qubits).
+	var emb *embedding
+	if opts.Backend != "" {
+		var err error
+		dev, emb, err = embedOnBackend(opts.Backend, models.BuildHeisenbergRing(n, depths[len(depths)-1], params))
+		if err != nil {
+			return fig, fmt.Errorf("fig7c: %w", err)
+		}
+	}
+	build := func(d int) (*circuit.Circuit, []sim.ObsSpec, error) {
+		return emb.Circuit(models.BuildHeisenbergRing(n, d, params), baseObs)
+	}
 
 	var ix, iy []float64
 	for _, d := range depths {
-		c := models.BuildHeisenbergRing(n, d, params)
+		c, obs, err := build(d)
+		if err != nil {
+			return fig, err
+		}
 		vals, err := core.IdealExpectations(dev, c, obs)
 		if err != nil {
 			return fig, err
@@ -62,7 +80,10 @@ func Fig7cHeisenberg(sp Spec, opts Options) (Figure, error) {
 		ex := exec.New(dev, pl)
 		var xs, ys []float64
 		for _, d := range depths {
-			c := models.BuildHeisenbergRing(n, d, params)
+			c, obs, err := build(d)
+			if err != nil {
+				return fig, err
+			}
 			cfg := sim.DefaultConfig()
 			cfg.Shots = opts.Shots
 			cfg.Seed = opts.Seed + int64(d)*23
@@ -78,6 +99,7 @@ func Fig7cHeisenberg(sp Spec, opts Options) (Figure, error) {
 		fig.AddSeries(pl.Name, xs, ys)
 	}
 	fig.Notef("%d-spin ring, J=(%.1f,%.1f,%.1f), dt=%.2f; one initial excitation on q0", n, params.Jx, params.Jy, params.Jz, params.Dt)
+	emb.Notef(&fig)
 	return fig, nil
 }
 

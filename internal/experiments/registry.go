@@ -32,11 +32,30 @@ type Spec struct {
 	Paper      string   `json:"paper"` // paper anchor, e.g. "Fig. 3c" or "Table I"
 	Strategies []string `json:"strategies,omitempty"`
 	Axes       []Axis   `json:"axes,omitempty"`
+	// Backends lists the registry backends (device.Backends) this
+	// experiment can be re-targeted to via Options.Backend; the workload
+	// is then placed by the layout stage instead of running on the
+	// harness's built-in device. Empty means default-device only.
+	Backends []string `json:"backends,omitempty"`
 	// DerivesFrom names the experiment whose figure this one post-
 	// processes; such specs set Derive instead of Run.
 	DerivesFrom string  `json:"derives_from,omitempty"`
 	Run         Runner  `json:"-"`
 	Derive      Deriver `json:"-"`
+}
+
+// SupportsBackend reports whether the spec declares the named backend
+// ("" — the default device — is always supported).
+func (sp Spec) SupportsBackend(name string) bool {
+	if name == "" {
+		return true
+	}
+	for _, b := range sp.Backends {
+		if b == name {
+			return true
+		}
+	}
+	return false
 }
 
 // AxisValues returns the named axis for the options: the Fast variant
@@ -85,6 +104,16 @@ var ramseyDepths = depthAxis(0, 1, 2, 3, 4, 6, 8, 10, 13, 16, 20, 24)
 var fig7Axes = []Axis{depthAxis(1, 2, 3, 4, 5, 6),
 	{Name: "qubits", Values: []float64{12}, Fast: []float64{6}}}
 
+// Backend whitelists of the re-targetable experiments. The line workload
+// (Fig. 6) embeds anywhere a 6-qubit path exists; the ring workload
+// (Fig. 7) needs a 12-cycle, which heavy-hex provides natively (its
+// smallest plaquette is exactly 12 qubits) and the grid via 12-cycles.
+// fig7c and fig7d share one list for the same reason they share axes.
+var (
+	fig6Backends = []string{"line6", "line12", "ring12", "grid16", "heavyhex29", "heavyhex65", "heavyhex127"}
+	fig7Backends = []string{"ring12", "grid16", "heavyhex29", "heavyhex65", "heavyhex127"}
+)
+
 // catalog is the declarative experiment registry, in paper order. Every
 // figure's sweep space lives here, not in the harnesses: the harness asks
 // its Spec for axis values, and the serving layers enumerate the same
@@ -116,12 +145,15 @@ var catalog = []Spec{
 		Strategies: []string{"ca-dd"}, Run: Fig5Coloring},
 	{ID: "fig6", Title: "Floquet Ising chain <X0 X5>", Paper: "Fig. 6",
 		Strategies: []string{"twirled", "ca-ec", "ca-dd"},
+		Backends:   fig6Backends,
 		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6, 7, 8)}, Run: Fig6Ising},
 	{ID: "fig7c", Title: "Heisenberg ring <Z2> (12 spins)", Paper: "Fig. 7c",
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Backends:   fig7Backends,
 		Axes:       fig7Axes, Run: Fig7cHeisenberg},
 	{ID: "fig7d", Title: "mitigation overhead (Heisenberg)", Paper: "Fig. 7d",
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Backends:   fig7Backends,
 		Axes:       fig7Axes, DerivesFrom: "fig7c", Derive: Fig7dOverhead},
 	{ID: "fig8", Title: "layer fidelity, 10-qubit sparse layer", Paper: "Fig. 8",
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
@@ -182,6 +214,10 @@ func Run(id string, opts Options) (Figure, error) {
 	sp, ok := byID[id]
 	if !ok {
 		return Figure{}, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	if !sp.SupportsBackend(opts.Backend) {
+		return Figure{}, fmt.Errorf("experiments: %s does not support backend %q (declared: %v)",
+			id, opts.Backend, sp.Backends)
 	}
 	if sp.DerivesFrom != "" {
 		base, err := Run(sp.DerivesFrom, opts)

@@ -79,8 +79,8 @@ func TestOrderingMatchesPaperOnNoisyDevice(t *testing.T) {
 	o.Seed = 47
 	o.ZZMin, o.ZZMax = 90e3, 160e3
 	o.QuasistaticSigma = 3e3
+	o.ZZOverride = []device.EdgeRate{{A: 1, B: 2, Hz: 230e3}}
 	dev, layer, _ := BenchmarkLayerDevice(o)
-	dev.ZZ[device.NewEdge(1, 2)] = 230e3
 
 	opts := DefaultOptions()
 	opts.Depths = []int{1, 2, 4, 7}

@@ -1,0 +1,632 @@
+// Package layout is the context-aware placement stage of the compiler: it
+// maps a logical circuit onto a (usually much larger) calibrated backend by
+// enumerating candidate sub-layouts and scoring each by the coherent error
+// the calibration predicts the circuit would accumulate there.
+//
+// This is the step the paper's workflow presumes and the related
+// device-aware compilers make explicit: before any suppression pass runs,
+// the compiler reads the backend's ZZ/Stark/NNN rates and picks the
+// subregion where the workload's specific idling pattern hurts least. The
+// scorer is the same toggling-frame integral the CA-EC pass compensates
+// (internal/toggling), so "predicted error" means exactly the angles the
+// downstream passes would otherwise have to fight.
+//
+// Selection runs in two tiers: a cheap static filter (sum of ZZ rates
+// touching the candidate region, plus a 1/T2 term) prunes the enumeration,
+// and the surviving candidates are scored exactly — the circuit is remapped
+// onto the candidate, routed, scheduled, and integrated layer by layer.
+// Candidate enumeration is topology-shaped: interaction graphs that form a
+// path or a cycle enumerate the backend's matching paths/cycles directly;
+// anything else falls back to greedy adjacency-guided growth and lets the
+// router legalize whatever remains non-adjacent.
+//
+// The two stages are ordinary pass.Passes (Select, Route) for pipeline
+// composition, and Choose/Placement expose the embedding directly for
+// callers that need the induced sub-device — the experiment harnesses
+// simulate on the induced region so simulator cost scales with the circuit,
+// not the backend.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/gates"
+	"casq/internal/qgraph"
+	"casq/internal/sched"
+	"casq/internal/toggling"
+)
+
+// Options bound the candidate search.
+type Options struct {
+	// MaxCandidates caps the path/cycle/greedy enumeration (0 = 4096).
+	MaxCandidates int
+	// TopK is how many statically-filtered candidates receive the exact
+	// toggling-frame score (0 = 32).
+	TopK int
+}
+
+// DefaultOptions returns the standard search bounds.
+func DefaultOptions() Options { return Options{MaxCandidates: 4096, TopK: 32} }
+
+func (o Options) withDefaults() Options {
+	if o.MaxCandidates <= 0 {
+		o.MaxCandidates = 4096
+	}
+	if o.TopK <= 0 {
+		o.TopK = 32
+	}
+	return o
+}
+
+// Placement is a chosen embedding of a logical circuit into a backend.
+type Placement struct {
+	// Backend is the parent device's name.
+	Backend string
+	// Phys maps logical qubit -> physical qubit on the parent device.
+	Phys []int
+	// Region is the sorted physical qubit set of the embedding.
+	Region []int
+	// Sub is the induced sub-device on Region with compact indices — the
+	// simulation target.
+	Sub *device.Device
+	// ToSub maps logical qubit -> compact Sub index.
+	ToSub []int
+	// Score is the predicted accumulated coherent error (radians) of the
+	// probe circuit on this placement, including a boundary penalty for
+	// region-crossing ZZ edges.
+	Score float64
+}
+
+// MapCircuit remaps a logical circuit onto the induced sub-device and
+// routes it (inserting SWAPs for any non-adjacent two-qubit gates). It
+// returns the routed circuit, the final wire -> sub-qubit positions (SWAPs
+// permute wires, so observables on logical qubit l live on sub qubit
+// final[ToSub[l]] — identity when no SWAPs were needed), and the SWAP
+// count.
+func (p *Placement) MapCircuit(c *circuit.Circuit) (*circuit.Circuit, []int, int, error) {
+	mc := Remap(c, p.ToSub, p.Sub.NQubits)
+	return RouteCircuit(p.Sub, mc)
+}
+
+// Remap returns a copy of c with every qubit operand i replaced by f[i] and
+// the qubit count set to nq.
+func Remap(c *circuit.Circuit, f []int, nq int) *circuit.Circuit {
+	out := c.Clone()
+	out.NQubits = nq
+	for li := range out.Layers {
+		for ii := range out.Layers[li].Instrs {
+			in := &out.Layers[li].Instrs[ii]
+			for qi, q := range in.Qubits {
+				in.Qubits[qi] = f[q]
+			}
+		}
+	}
+	return out
+}
+
+// interactionGraph collects the logical 2q-coupling structure of a circuit.
+func interactionGraph(c *circuit.Circuit) *qgraph.Graph {
+	g := qgraph.New(c.NQubits)
+	for _, l := range c.Layers {
+		for _, in := range l.Instrs {
+			if gates.NumQubits(in.Gate) == 2 && !g.HasEdge(in.Qubits[0], in.Qubits[1]) {
+				g.AddEdge(in.Qubits[0], in.Qubits[1])
+			}
+		}
+	}
+	return g
+}
+
+// pathOrder returns the logical qubits in path order if the interaction
+// graph is a simple path spanning all n qubits (isolated single qubit
+// included), else nil.
+func pathOrder(g *qgraph.Graph) []int {
+	n := g.N
+	if n == 1 {
+		return []int{0}
+	}
+	edges := 0
+	start := -1
+	for q := 0; q < n; q++ {
+		d := g.Degree(q)
+		edges += d
+		if d > 2 || d == 0 {
+			return nil
+		}
+		if d == 1 {
+			start = q
+		}
+	}
+	if edges/2 != n-1 || start == -1 {
+		return nil
+	}
+	return walkFrom(g, start, n, false)
+}
+
+// cycleOrder returns the logical qubits in cycle order if the interaction
+// graph is a single cycle over all n qubits, else nil.
+func cycleOrder(g *qgraph.Graph) []int {
+	n := g.N
+	if n < 3 {
+		return nil
+	}
+	edges := 0
+	for q := 0; q < n; q++ {
+		if g.Degree(q) != 2 {
+			return nil
+		}
+		edges += 2
+	}
+	if edges/2 != n {
+		return nil
+	}
+	return walkFrom(g, 0, n, true)
+}
+
+// walkFrom traverses the degree-<=2 graph from start, returning the visit
+// order, or nil if the walk does not cover n nodes (or, for cycles, does
+// not close).
+func walkFrom(g *qgraph.Graph, start, n int, cycle bool) []int {
+	order := []int{start}
+	seen := map[int]bool{start: true}
+	cur := start
+	for len(order) < n {
+		next := -1
+		for _, nb := range g.Neighbors(cur) {
+			if !seen[nb] {
+				next = nb
+				break
+			}
+		}
+		if next == -1 {
+			return nil
+		}
+		order = append(order, next)
+		seen[next] = true
+		cur = next
+	}
+	if cycle && !g.HasEdge(order[n-1], order[0]) {
+		return nil
+	}
+	return order
+}
+
+// enumeratePaths lists simple paths of nv vertices in the coupling graph,
+// capped. Each path yields one candidate (reversals arise from DFS at the
+// other endpoint).
+func enumeratePaths(g *qgraph.Graph, nv, cap_ int) [][]int {
+	var out [][]int
+	path := make([]int, 0, nv)
+	used := make([]bool, g.N)
+	var dfs func(int)
+	dfs = func(v int) {
+		if len(out) >= cap_ {
+			return
+		}
+		path = append(path, v)
+		used[v] = true
+		if len(path) == nv {
+			out = append(out, append([]int(nil), path...))
+		} else {
+			for _, nb := range g.Neighbors(v) {
+				if !used[nb] {
+					dfs(nb)
+				}
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < g.N && len(out) < cap_; s++ {
+		dfs(s)
+	}
+	return out
+}
+
+// enumerateCycles lists closed walks of nv distinct vertices. Every
+// rotation and direction is enumerated separately: each corresponds to a
+// different logical->physical assignment, and the calibration
+// distinguishes them.
+func enumerateCycles(g *qgraph.Graph, nv, cap_ int) [][]int {
+	var out [][]int
+	path := make([]int, 0, nv)
+	used := make([]bool, g.N)
+	var dfs func(start, v int)
+	dfs = func(start, v int) {
+		if len(out) >= cap_ {
+			return
+		}
+		path = append(path, v)
+		used[v] = true
+		if len(path) == nv {
+			if g.HasEdge(v, start) {
+				out = append(out, append([]int(nil), path...))
+			}
+		} else {
+			for _, nb := range g.Neighbors(v) {
+				if !used[nb] {
+					dfs(start, nb)
+				}
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+	}
+	for s := 0; s < g.N && len(out) < cap_; s++ {
+		dfs(s, s)
+	}
+	return out
+}
+
+// greedyCandidates grows one candidate region from every physical seed:
+// logical qubits are placed in BFS order over the interaction graph, each
+// onto the free physical qubit adjacent to an already-placed interaction
+// partner with the lowest added ZZ weight (nearest free qubit when no
+// adjacent one is open). The router legalizes any residual non-adjacency.
+func greedyCandidates(dev *device.Device, g *qgraph.Graph, ig *qgraph.Graph, cap_ int) [][]int {
+	n := ig.N
+	order := logicalBFSOrder(ig)
+	var out [][]int
+	for seed := 0; seed < dev.NQubits && len(out) < cap_; seed++ {
+		phys := make([]int, n)
+		for i := range phys {
+			phys[i] = -1
+		}
+		used := make([]bool, dev.NQubits)
+		ok := true
+		for _, l := range order {
+			var best = -1
+			var bestW float64
+			try := func(p int) {
+				if p < 0 || used[p] {
+					return
+				}
+				w := 0.0
+				for _, nb := range g.Neighbors(p) {
+					if used[nb] {
+						w += dev.ZZRate(p, nb)
+					}
+				}
+				if best == -1 || w < bestW || (w == bestW && p < best) {
+					best, bestW = p, w
+				}
+			}
+			if phys[order[0]] == -1 && l == order[0] {
+				try(seed)
+			} else {
+				for _, ln := range ig.Neighbors(l) {
+					if phys[ln] == -1 {
+						continue
+					}
+					for _, p := range g.Neighbors(phys[ln]) {
+						try(p)
+					}
+				}
+				if best == -1 {
+					// No free neighbor of any placed partner: take the
+					// nearest free qubit from the placed frontier.
+					try(nearestFree(g, phys, used))
+				}
+			}
+			if best == -1 {
+				ok = false
+				break
+			}
+			phys[l] = best
+			used[best] = true
+		}
+		if ok {
+			out = append(out, phys)
+		}
+	}
+	return out
+}
+
+// logicalBFSOrder orders logical qubits by BFS from the highest-degree
+// vertex, covering every component (isolated qubits last, ascending).
+func logicalBFSOrder(ig *qgraph.Graph) []int {
+	n := ig.N
+	start := 0
+	for q := 1; q < n; q++ {
+		if ig.Degree(q) > ig.Degree(start) {
+			start = q
+		}
+	}
+	seen := make([]bool, n)
+	var order []int
+	var bfs func(int)
+	bfs = func(s int) {
+		queue := []int{s}
+		seen[s] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, v := range ig.Neighbors(u) {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	bfs(start)
+	for q := 0; q < n; q++ {
+		if !seen[q] {
+			bfs(q)
+		}
+	}
+	return order
+}
+
+// nearestFree BFS-expands from all placed qubits to the closest unused one.
+func nearestFree(g *qgraph.Graph, phys []int, used []bool) int {
+	var queue []int
+	seen := make([]bool, g.N)
+	for _, p := range phys {
+		if p >= 0 {
+			queue = append(queue, p)
+			seen[p] = true
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if !used[u] {
+			return u
+		}
+		for _, v := range g.Neighbors(u) {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return -1
+}
+
+// staticScore is the cheap filter: total ZZ weight internal to the region,
+// half weight for region-crossing edges, plus each member's 1/T2 (Hz).
+func staticScore(dev *device.Device, used map[int]bool) float64 {
+	s := 0.0
+	for _, e := range dev.AllCrosstalkEdges() {
+		ina, inb := used[e.A], used[e.B]
+		switch {
+		case ina && inb:
+			s += dev.ZZ[e]
+		case ina || inb:
+			s += dev.ZZ[e] / 2
+		}
+	}
+	for q := range used {
+		if t2 := dev.T2[q]; t2 > 0 {
+			s += 1e9 / t2
+		}
+	}
+	return s
+}
+
+// PredictError sums the magnitudes of every surviving coherent error angle
+// of a scheduled circuit on a device — the toggling-frame integrals of
+// paper Eq. 1 over all layers, ZZ and Stark included. It is the quantity
+// CA-EC would have to compensate, evaluated before any suppression runs.
+func PredictError(dev *device.Device, c *circuit.Circuit) float64 {
+	tot := 0.0
+	for i := range c.Layers {
+		m := toggling.BuildLayerModel(&c.Layers[i], dev)
+		r := toggling.Integrate(m, dev, true)
+		// Sum in sorted key order: float addition is order-sensitive and
+		// the layout argmin must be bit-deterministic across runs.
+		qs := make([]int, 0, len(r.PhiZ))
+		for q := range r.PhiZ {
+			qs = append(qs, q)
+		}
+		sort.Ints(qs)
+		for _, q := range qs {
+			tot += math.Abs(r.PhiZ[q])
+		}
+		es := make([]device.Edge, 0, len(r.PhiZZ))
+		for e := range r.PhiZZ {
+			es = append(es, e)
+		}
+		sort.Slice(es, func(i, j int) bool {
+			if es[i].A != es[j].A {
+				return es[i].A < es[j].A
+			}
+			return es[i].B < es[j].B
+		})
+		for _, e := range es {
+			tot += math.Abs(r.PhiZZ[e])
+		}
+	}
+	return tot
+}
+
+// boundaryPenalty upper-bounds the dephasing from ZZ edges that cross the
+// region boundary: the outside qubit idles for the whole circuit, so the
+// inside qubit can accumulate up to 2*pi*nu*T of uncompensated phase.
+func boundaryPenalty(dev *device.Device, used map[int]bool, duration float64) float64 {
+	s := 0.0
+	for _, e := range dev.AllCrosstalkEdges() {
+		if used[e.A] != used[e.B] {
+			s += 2 * math.Pi * dev.ZZ[e] * 1e-9 * duration
+		}
+	}
+	return s
+}
+
+// Choose selects the minimal-predicted-error embedding of c into dev. The
+// probe circuit should be the deepest instance of the workload (layout is
+// then reused across a depth sweep). Candidates are enumerated by the
+// interaction graph's shape, filtered statically, and the TopK finalists
+// are scored exactly: remapped, routed, scheduled, and integrated in the
+// toggling frame, plus the boundary penalty. Ties break toward the
+// lexicographically smallest mapping so the choice is deterministic.
+func Choose(dev *device.Device, c *circuit.Circuit, opts Options) (*Placement, error) {
+	opts = opts.withDefaults()
+	n := c.NQubits
+	if n > dev.NQubits {
+		return nil, fmt.Errorf("layout: circuit needs %d qubits, backend %s has %d", n, dev.Name, dev.NQubits)
+	}
+	ig := interactionGraph(c)
+	g := dev.CouplingGraph()
+
+	var cands [][]int
+	if ord := pathOrder(ig); ord != nil {
+		for _, p := range enumeratePaths(g, n, opts.MaxCandidates) {
+			phys := make([]int, n)
+			for i, l := range ord {
+				phys[l] = p[i]
+			}
+			cands = append(cands, phys)
+		}
+	} else if ord := cycleOrder(ig); ord != nil {
+		for _, p := range enumerateCycles(g, n, opts.MaxCandidates) {
+			phys := make([]int, n)
+			for i, l := range ord {
+				phys[l] = p[i]
+			}
+			cands = append(cands, phys)
+		}
+	}
+	if len(cands) == 0 {
+		cands = greedyCandidates(dev, g, ig, opts.MaxCandidates)
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("layout: no %d-qubit embedding found on %s", n, dev.Name)
+	}
+
+	pre := make([]scored, len(cands))
+	for i, phys := range cands {
+		used := map[int]bool{}
+		for _, p := range phys {
+			used[p] = true
+		}
+		pre[i] = scored{phys, staticScore(dev, used)}
+	}
+	sort.Slice(pre, func(i, j int) bool {
+		if pre[i].score != pre[j].score {
+			return pre[i].score < pre[j].score
+		}
+		return lexLess(pre[i].phys, pre[j].phys)
+	})
+	pre = diverseTopK(pre, opts.TopK)
+
+	var best *Placement
+	for _, cand := range pre {
+		pl, err := place(dev, c, cand.phys)
+		if err != nil {
+			continue
+		}
+		if best == nil || pl.Score < best.Score ||
+			(pl.Score == best.Score && lexLess(pl.Phys, best.Phys)) {
+			best = pl
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("layout: no candidate embedding of %d qubits on %s survived scoring", n, dev.Name)
+	}
+	return best, nil
+}
+
+// scored is one candidate mapping with its static filter score.
+type scored struct {
+	phys  []int
+	score float64
+}
+
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// diverseTopK picks at most k candidates from the statically-sorted list,
+// round-robin across distinct physical regions. The static score is
+// orientation-invariant (it only sees the qubit set), so a cycle region's
+// 24 rotations/reflections sort contiguously and a plain prefix cut would
+// let one region crowd every other out of exact scoring — the exact
+// toggling-frame scorer would never see the regions where the static
+// proxy is wrong (it ignores Stark, scheduling, and the circuit's idling
+// pattern). One orientation per region first, then second orientations,
+// and so on while budget remains, preserving static order within each
+// round.
+func diverseTopK(pre []scored, k int) []scored {
+	if len(pre) <= k {
+		return pre
+	}
+	regionOf := func(phys []int) string {
+		r := append([]int(nil), phys...)
+		sort.Ints(r)
+		return fmt.Sprint(r)
+	}
+	byRegion := map[string][]scored{}
+	var order []string // regions in first-seen (static score) order
+	for _, c := range pre {
+		rk := regionOf(c.phys)
+		if _, seen := byRegion[rk]; !seen {
+			order = append(order, rk)
+		}
+		byRegion[rk] = append(byRegion[rk], c)
+	}
+	picked := make([]scored, 0, k)
+	for round := 0; len(picked) < k; round++ {
+		progressed := false
+		for _, rk := range order {
+			if round < len(byRegion[rk]) {
+				progressed = true
+				picked = append(picked, byRegion[rk][round])
+				if len(picked) == k {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return picked
+}
+
+// place materializes one candidate: induced sub-device, remap, route,
+// schedule, exact score.
+func place(dev *device.Device, c *circuit.Circuit, phys []int) (*Placement, error) {
+	sub, region, err := dev.Induced(dev.Name+"/sub", phys)
+	if err != nil {
+		return nil, err
+	}
+	subIdx := make(map[int]int, len(region))
+	for i, q := range region {
+		subIdx[q] = i
+	}
+	toSub := make([]int, len(phys))
+	for l, p := range phys {
+		toSub[l] = subIdx[p]
+	}
+	mc := Remap(c, toSub, sub.NQubits)
+	routed, _, _, err := RouteCircuit(sub, mc)
+	if err != nil {
+		return nil, err
+	}
+	dur := sched.Schedule(routed, sub)
+	used := map[int]bool{}
+	for _, p := range phys {
+		used[p] = true
+	}
+	score := PredictError(sub, routed) + boundaryPenalty(dev, used, dur)
+	return &Placement{
+		Backend: dev.Name,
+		Phys:    append([]int(nil), phys...),
+		Region:  region,
+		Sub:     sub,
+		ToSub:   toSub,
+		Score:   score,
+	}, nil
+}

@@ -1,0 +1,53 @@
+package layout
+
+import (
+	"casq/internal/circuit"
+	"casq/internal/pass"
+)
+
+// selectPass embeds the circuit into ctx.Dev as a pipeline stage.
+type selectPass struct{ opts Options }
+
+// Select returns the layout-selection pass: it chooses the
+// minimal-predicted-error embedding of the circuit into the pipeline's
+// device and rewrites the circuit onto those physical qubits (the circuit's
+// qubit count becomes the device's). Compose it first, before scheduling:
+// downstream passes then see physical qubits only. Use Route after it if
+// the interaction graph might not embed exactly.
+func Select(opts Options) pass.Pass { return selectPass{opts} }
+
+func (selectPass) Name() string { return "layout" }
+
+func (p selectPass) Apply(ctx *pass.Context, c *circuit.Circuit) error {
+	pl, err := Choose(ctx.Dev, c, p.opts)
+	if err != nil {
+		return err
+	}
+	out := Remap(c, pl.Phys, ctx.Dev.NQubits)
+	*c = *out
+	ctx.Report.Layout = pl.Phys
+	ctx.Report.LayoutScore = pl.Score
+	return nil
+}
+
+// routePass legalizes non-adjacent two-qubit gates as a pipeline stage.
+type routePass struct{}
+
+// Route returns the SWAP-routing pass: every two-qubit gate on a
+// non-coupled pair gets a shortest-path SWAP chain inserted before it, and
+// all later instructions are rewritten through the wire permutation. On a
+// circuit whose gates are all adjacent it is the identity.
+func Route() pass.Pass { return routePass{} }
+
+func (routePass) Name() string { return "route" }
+
+func (routePass) Apply(ctx *pass.Context, c *circuit.Circuit) error {
+	routed, final, swaps, err := RouteCircuit(ctx.Dev, c)
+	if err != nil {
+		return err
+	}
+	*c = *routed
+	ctx.Report.FinalLayout = final
+	ctx.Report.Swaps += swaps
+	return nil
+}

@@ -58,6 +58,18 @@ type Report struct {
 	DD       dd.Report
 	EC       caec.Stats
 	Duration float64 // scheduled duration of the compiled circuit, ns
+
+	// Layout is the logical -> physical qubit assignment chosen by a
+	// layout-selection pass (internal/layout), nil when no layout pass ran.
+	Layout []int
+	// LayoutScore is that assignment's predicted accumulated coherent
+	// error in radians (lower is better).
+	LayoutScore float64
+	// FinalLayout maps each circuit wire to its physical qubit after
+	// routing (SWAPs permute wires); nil when no routing pass ran.
+	FinalLayout []int
+	// Swaps counts SWAP gates inserted by routing passes.
+	Swaps int
 }
 
 // Pass is one composable circuit transformation. Apply mutates the circuit

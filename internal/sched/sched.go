@@ -58,9 +58,10 @@ func LayerDuration(l *circuit.Layer, d *device.Device) float64 {
 		for _, in := range l.Instrs {
 			g := 0.0
 			switch {
-			case in.Gate == gates.Ucan:
+			case in.Gate == gates.Ucan, in.Gate == gates.SWAP:
 				// A canonical gate compiles to 3 CNOT/ECR blocks plus
-				// interleaved 1q gates (paper Fig. 1d).
+				// interleaved 1q gates (paper Fig. 1d); a routing SWAP is
+				// likewise 3 CNOTs.
 				g = 3*d.DurECR + 2*d.Dur1Q
 			case in.Gate == gates.RZZ:
 				// Pulse-stretched native RZZ (paper Sec. IV B): duration

@@ -8,8 +8,9 @@
 // Routes:
 //
 //	GET  /experiments   catalog of declarative experiment Specs
+//	GET  /backends      the named device registry (sizes, families)
 //	GET  /figures/{id}  one figure; options via query parameters
-//	                    (seed, shots, instances, maxdepth, fast);
+//	                    (seed, shots, instances, maxdepth, fast, backend);
 //	                    X-Casq-Cache reports hit or miss
 //	POST /sweeps        submit a sweep.Spec as JSON; returns 202 + id
 //	GET  /sweeps/{id}   progress of a submitted sweep
@@ -26,6 +27,7 @@ import (
 	"strconv"
 	"sync"
 
+	"casq/internal/device"
 	"casq/internal/experiments"
 	"casq/internal/sweep"
 )
@@ -72,6 +74,7 @@ func (s *Server) Close() { s.cancel() }
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.handleExperiments)
+	mux.HandleFunc("GET /backends", s.handleBackends)
 	mux.HandleFunc("GET /figures/{id}", s.handleFigure)
 	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
 	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
@@ -94,11 +97,16 @@ func (s *Server) handleExperiments(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, experiments.Catalog())
 }
 
+func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, device.Backends())
+}
+
 // figureParams is the accepted /figures/{id} query vocabulary. Unknown
 // parameters are rejected rather than ignored: a typo (shot= for shots=)
 // must not silently serve — and cache — a different configuration.
 var figureParams = map[string]bool{
 	"seed": true, "shots": true, "instances": true, "maxdepth": true, "fast": true,
+	"backend": true,
 }
 
 // figureOptions binds the request's query parameters to run Options:
@@ -109,7 +117,7 @@ func figureOptions(r *http.Request) (experiments.Options, error) {
 	opts := experiments.DefaultOptions()
 	for name := range q {
 		if !figureParams[name] {
-			return opts, fmt.Errorf("unknown parameter %q (known: fast, instances, maxdepth, seed, shots)", name)
+			return opts, fmt.Errorf("unknown parameter %q (known: backend, fast, instances, maxdepth, seed, shots)", name)
 		}
 	}
 	if fast, err := boolParam(q.Get("fast")); err != nil {
@@ -140,6 +148,12 @@ func figureOptions(r *http.Request) (experiments.Options, error) {
 		}
 		opts.Seed = n
 	}
+	if v := q.Get("backend"); v != "" {
+		if _, ok := device.LookupBackend(v); !ok {
+			return opts, fmt.Errorf("backend: unknown %q (see /backends)", v)
+		}
+		opts.Backend = v
+	}
 	return opts, nil
 }
 
@@ -155,13 +169,22 @@ func boolParam(v string) (bool, error) {
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	if _, ok := experiments.Lookup(id); !ok {
+	sp, ok := experiments.Lookup(id)
+	if !ok {
 		writeError(w, http.StatusNotFound, "unknown experiment %q (see /experiments)", id)
 		return
 	}
 	opts, err := figureOptions(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// A known backend the figure does not declare is the client's mistake,
+	// not a server fault — reject before the compute path turns it into a
+	// 500.
+	if !sp.SupportsBackend(opts.Backend) {
+		writeError(w, http.StatusBadRequest,
+			"experiment %s does not support backend %q (declared: %v)", id, opts.Backend, sp.Backends)
 		return
 	}
 	data, hit, err := s.cache.Figure(sweep.Cell{ID: id, Opts: opts})
@@ -242,6 +265,7 @@ type sweepCellState struct {
 	Shots      int             `json:"shots"`
 	Instances  int             `json:"instances"`
 	MaxDepth   int             `json:"max_depth"`
+	Backend    string          `json:"backend,omitempty"`
 	State      sweep.CellState `json:"state"`
 }
 
@@ -259,7 +283,7 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	body := sweepStatus{ID: id, Progress: run.Progress(), Cells: make([]sweepCellState, len(cells))}
 	for i, c := range cells {
 		body.Cells[i] = sweepCellState{Experiment: c.ID, Seed: c.Opts.Seed, Shots: c.Opts.Shots,
-			Instances: c.Opts.Instances, MaxDepth: c.Opts.MaxDepth, State: states[i]}
+			Instances: c.Opts.Instances, MaxDepth: c.Opts.MaxDepth, Backend: c.Opts.Backend, State: states[i]}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -1,0 +1,52 @@
+package sweep
+
+import (
+	"testing"
+
+	"casq/internal/experiments"
+)
+
+// TestBackendAxisExpansion pins the backend grid axis: cells expand the
+// cartesian product, keys separate per backend, and the default-backend
+// cell keys stay distinct from any named backend.
+func TestBackendAxisExpansion(t *testing.T) {
+	spec := Spec{
+		IDs:  []string{"fig6"},
+		Grid: Grid{Seeds: []int64{1, 2}, Backends: []string{"", "heavyhex29"}},
+		Base: experiments.Options{Shots: 8, Instances: 1},
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("expanded %d cells, want 2 seeds x 2 backends = 4", len(cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range cells {
+		k, err := c.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[string(k)] = true
+	}
+	if len(keys) != 4 {
+		t.Fatalf("cells share keys: %d distinct of 4", len(keys))
+	}
+}
+
+// TestBackendAxisValidation: an experiment that does not declare a backend
+// must be rejected at expansion time, not during the sweep.
+func TestBackendAxisValidation(t *testing.T) {
+	spec := Spec{
+		IDs:  []string{"fig8"},
+		Grid: Grid{Backends: []string{"heavyhex29"}},
+	}
+	if _, err := spec.Cells(); err == nil {
+		t.Fatal("fig8 with a backend axis must fail to expand")
+	}
+	cell := Cell{ID: "fig8", Opts: experiments.Options{Backend: "heavyhex29"}}
+	if _, err := cell.Key(); err == nil {
+		t.Fatal("key for an unsupported backend must error")
+	}
+}

@@ -25,7 +25,10 @@ import (
 // internals change in a result-affecting way that the descriptor fields do
 // not capture (device construction, pipeline composition), so stale cached
 // figures are never served for the new code.
-const descriptorRev = 1
+//
+// Rev 2: the backend axis joined the descriptor (and Spec declarations
+// gained Backends), so every pre-backend checkpoint is retired.
+const descriptorRev = 2
 
 // Compute regenerates one figure from scratch. The default is
 // experiments.Run; tests substitute counting or failing stand-ins.
@@ -53,6 +56,7 @@ type descriptor struct {
 	Instances  int                `json:"instances"`
 	MaxDepth   int                `json:"max_depth"`
 	Fast       bool               `json:"fast"`
+	Backend    string             `json:"backend"`
 }
 
 // Key returns the cell's content address: the fingerprint of the
@@ -70,6 +74,10 @@ func (c Cell) Key() (store.Key, error) {
 	if len(sp.AxisValues("depth", c.Opts)) == 0 {
 		maxDepth = 0
 	}
+	if !sp.SupportsBackend(c.Opts.Backend) {
+		return "", fmt.Errorf("sweep: %s does not support backend %q (declared: %v)",
+			c.ID, c.Opts.Backend, sp.Backends)
+	}
 	return store.Fingerprint(descriptor{
 		Rev:        descriptorRev,
 		ID:         sp.ID,
@@ -82,6 +90,7 @@ func (c Cell) Key() (store.Key, error) {
 		Instances:  c.Opts.Instances,
 		MaxDepth:   maxDepth,
 		Fast:       c.Opts.Fast,
+		Backend:    c.Opts.Backend,
 	})
 }
 
@@ -190,6 +199,10 @@ type Grid struct {
 	Shots     []int   `json:"shots,omitempty"`
 	Instances []int   `json:"instances,omitempty"`
 	MaxDepths []int   `json:"max_depths,omitempty"`
+	// Backends sweeps the registry-backend axis; every listed experiment
+	// must declare each backend in its Spec.Backends ("" = the default
+	// device, always allowed).
+	Backends []string `json:"backends,omitempty"`
 }
 
 // Spec is a sweep request: which experiments, over which option grid,
@@ -237,19 +250,34 @@ func (s Spec) Cells() ([]Cell, error) {
 	if len(maxDepths) == 0 {
 		maxDepths = []int{s.Base.MaxDepth}
 	}
-	cells := make([]Cell, 0, len(ids)*len(seeds)*len(shots)*len(instances)*len(maxDepths))
+	backends := s.Grid.Backends
+	if len(backends) == 0 {
+		backends = []string{s.Base.Backend}
+	}
+	for _, b := range backends {
+		for _, id := range ids {
+			sp, _ := experiments.Lookup(id)
+			if !sp.SupportsBackend(b) {
+				return nil, fmt.Errorf("sweep: %s does not support backend %q (declared: %v)", id, b, sp.Backends)
+			}
+		}
+	}
+	cells := make([]Cell, 0, len(ids)*len(seeds)*len(shots)*len(instances)*len(maxDepths)*len(backends))
 	for _, id := range ids {
 		for _, seed := range seeds {
 			for _, sh := range shots {
 				for _, inst := range instances {
 					for _, md := range maxDepths {
-						opts := s.Base
-						opts.Seed = seed
-						opts.Shots = sh
-						opts.Instances = inst
-						opts.MaxDepth = md
-						opts.Fast = s.Fast || s.Base.Fast
-						cells = append(cells, Cell{ID: id, Opts: opts})
+						for _, b := range backends {
+							opts := s.Base
+							opts.Seed = seed
+							opts.Shots = sh
+							opts.Instances = inst
+							opts.MaxDepth = md
+							opts.Backend = b
+							opts.Fast = s.Fast || s.Base.Fast
+							cells = append(cells, Cell{ID: id, Opts: opts})
+						}
 					}
 				}
 			}

@@ -44,7 +44,7 @@ func TableFor(k gates.Kind) (*pauli.CliffordTable, error) {
 		return t, nil
 	}
 	switch k {
-	case gates.ECR, gates.CX:
+	case gates.ECR, gates.CX, gates.SWAP:
 	default:
 		return nil, fmt.Errorf("twirl: %s is not a supported Clifford gate", k)
 	}
@@ -92,7 +92,7 @@ func Instance(c *circuit.Circuit, scope Scope, rng *rand.Rand) (*circuit.Circuit
 		for _, in := range l.TwoQubitGates() {
 			q0, q1 := in.Qubits[0], in.Qubits[1]
 			switch in.Gate {
-			case gates.ECR, gates.CX:
+			case gates.ECR, gates.CX, gates.SWAP:
 				tab, err := TableFor(in.Gate)
 				if err != nil {
 					return nil, err
