@@ -20,11 +20,13 @@ import (
 	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/gates"
+	"casq/internal/layerfid"
 	"casq/internal/layout"
 	"casq/internal/models"
 	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/sim"
+	"casq/internal/stab"
 	"casq/internal/twirl"
 )
 
@@ -339,6 +341,74 @@ func BenchmarkFacadeQuickstart(b *testing.B) {
 		}
 		if math.IsNaN(vals[0]) {
 			b.Fatal("NaN expectation")
+		}
+	}
+}
+
+// stab127Workload builds the full-127-qubit layer-fidelity workload: the
+// Eagle lattice, a maximal ECR tiling, and a depth-4 twirl-representable
+// probe circuit.
+func stab127Workload(b *testing.B) (*device.Device, *circuit.Circuit) {
+	b.Helper()
+	dev, err := device.NewBackend("eagle127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	layer := layerfid.TiledLayer(dev)
+	c := circuit.New(dev.NQubits, 0)
+	prep := c.AddLayer(circuit.OneQubitLayer)
+	for _, in := range layer.TwoQubitGates() {
+		prep.H(in.Qubits[0])
+	}
+	for d := 0; d < 4; d++ {
+		c.Layers = append(c.Layers, layer.Clone())
+	}
+	return dev, c
+}
+
+// BenchmarkStabilizer127Q measures the full-scale engine end to end: a
+// twirled depth-4 Eagle-lattice layer circuit, compiled through the
+// twirled pipeline and sampled by the stabilizer engine — the workload
+// the 2^127 statevector cannot touch. CI archives it as BENCH_stab.json.
+func BenchmarkStabilizer127Q(b *testing.B) {
+	dev, c := stab127Workload(b)
+	obs := make([]sim.ObsSpec, 0, 8)
+	for _, in := range c.Layers[1].TwoQubitGates()[:8] {
+		obs = append(obs, sim.ObsSpec{in.Qubits[0]: 'X'})
+	}
+	cfg := sim.DefaultConfig()
+	cfg.Shots = 256
+	cfg.Workers = 1
+	ex := exec.New(dev, pass.Twirled())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		vals, err := ex.Expectations(context.Background(), c, obs,
+			exec.RunOptions{Instances: 2, Workers: 1, Seed: 3, Cfg: cfg, Engine: exec.EngineStab})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if math.IsNaN(vals[0]) {
+			b.Fatal("NaN expectation")
+		}
+	}
+}
+
+// BenchmarkPauliChannelDerivation isolates the PTA compile stage: walking
+// the 127-qubit schedule, integrating every toggling-frame error angle,
+// and deriving the per-location Pauli channels plus the reference tableau
+// run (no shot sampling).
+func BenchmarkPauliChannelDerivation(b *testing.B) {
+	dev, c := stab127Workload(b)
+	sched.Schedule(c, dev)
+	eng := stab.New(dev, sim.DefaultConfig())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inf, err := eng.Info(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if inf.Channels == 0 {
+			b.Fatal("no channels derived")
 		}
 	}
 }

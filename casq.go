@@ -17,6 +17,7 @@ import (
 	"casq/internal/sched"
 	"casq/internal/serve"
 	"casq/internal/sim"
+	"casq/internal/stab"
 	"casq/internal/store"
 	"casq/internal/sweep"
 	"casq/internal/twirl"
@@ -47,6 +48,12 @@ type (
 	DeviceOptions = device.Options
 	// SimConfig toggles the simulator's noise channels.
 	SimConfig = sim.Config
+	// SimEngine is the simulation-backend contract shared by the exact
+	// statevector Runner and the stabilizer/Pauli-frame engine.
+	SimEngine = sim.Engine
+	// StabEngine is the stabilizer/Pauli-frame engine: full-device twirled
+	// simulation in O(shots*gates*n) via the Pauli-twirling approximation.
+	StabEngine = stab.Engine
 	// Observable is a Pauli observable specification.
 	Observable = sim.ObsSpec
 	// ExperimentOptions control the paper-figure harnesses.
@@ -159,6 +166,29 @@ const (
 	TwirlGatesOnly = twirl.GatesOnly
 	TwirlAllQubits = twirl.AllQubits
 )
+
+// Simulation engines (ExecOptions.Engine, ExperimentOptions.Engine, the
+// sweep Grid's Engines axis, and the serve layer's engine= parameter).
+const (
+	EngineStatevector = exec.EngineStatevector
+	EngineStab        = exec.EngineStab
+	EngineAuto        = exec.EngineAuto
+)
+
+// EngineNames lists the selectable simulation engines.
+func EngineNames() []string { return exec.EngineNames() }
+
+// NewStabEngine returns the stabilizer/Pauli-frame engine for the device
+// and config: the backend that simulates full-scale twirled circuits —
+// 127 qubits and beyond — which the 2^n statevector cannot hold. It
+// implements SimEngine; the executor dispatches to it via
+// ExecOptions.Engine ("stab" forced, "auto" when representable).
+func NewStabEngine(dev *Device, cfg SimConfig) *StabEngine { return stab.New(dev, cfg) }
+
+// StabSupports reports (by nil error) whether the circuit is
+// twirl-representable — every gate Clifford up to "ec"-tagged virtual-Z
+// residuals — and therefore runnable on the stabilizer engine.
+func StabSupports(c *Circuit) error { return stab.Supports(c) }
 
 // NewCircuit returns an empty layered circuit.
 func NewCircuit(nQubits, nCBits int) *Circuit { return circuit.New(nQubits, nCBits) }

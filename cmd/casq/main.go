@@ -9,6 +9,7 @@
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -workload ising -backend heavyhex127 -strategy ca-dd
+//	casq -spec fig8 -backend eagle127 -engine stab [-full]
 //	casq -list
 //	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
 //
@@ -18,8 +19,13 @@
 // retargets the workload onto a named registry backend: the layout and
 // routing passes are prepended, so the compiler picks the subregion with
 // the least predicted coherent error and legalizes any non-adjacent
-// gates with SWAPs. Run `casq -list` for the workload, strategy, pass,
-// and backend vocabularies. Experiment-level parallelism lives in the
+// gates with SWAPs. The -spec flag runs a paper experiment by id instead
+// of the compile demo; with -backend and -engine it exercises the engine
+// axis — `casq -spec fig8 -backend eagle127 -engine stab` is the
+// full-127-qubit layer-fidelity run that only the stabilizer engine can
+// simulate. Run `casq -list` for the workload, strategy, pass, engine,
+// and backend vocabularies (including which engines can run each backend
+// at full scale). Experiment-level parallelism lives in the
 // sibling experiments command (its -workers flag sets the unified worker
 // budget per data point).
 //
@@ -36,11 +42,14 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"casq/internal/caec"
 	"casq/internal/circuit"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/exec"
+	"casq/internal/experiments"
 	"casq/internal/layout"
 	"casq/internal/models"
 	"casq/internal/pass"
@@ -134,6 +143,30 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
+// runSpec regenerates one paper experiment by id — the service-free way
+// to exercise the engine axis, e.g. the full-127-qubit layer fidelity:
+//
+//	casq -spec fig8 -backend eagle127 -engine stab
+func runSpec(id, backend, engine string, full bool, seed int64, seedSet bool) {
+	opts := experiments.FastOptions()
+	if full {
+		opts = experiments.DefaultOptions()
+	}
+	opts.Backend = backend
+	opts.Engine = engine
+	if seedSet {
+		opts.Seed = seed
+	}
+	start := time.Now()
+	fig, err := experiments.Run(id, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Print(fig.Render())
+	fmt.Printf("(%s in %.1fs)\n", id, time.Since(start).Seconds())
+}
+
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
@@ -144,10 +177,13 @@ func main() {
 		strategy = flag.String("strategy", "ca-ec+dd", "strategy name (see -list)")
 		passes   = flag.String("passes", "", "comma-separated custom pipeline, e.g. twirl,sched,ec,sched,dd:aligned (overrides -strategy)")
 		backend  = flag.String("backend", "", "compile onto a named registry backend via layout+routing (see -list)")
+		spec     = flag.String("spec", "", "run a paper experiment by id (see experiments -list) instead of the compile demo")
+		engine   = flag.String("engine", "", "simulation engine for -spec: statevector, stab, or auto")
+		full     = flag.Bool("full", false, "full-quality sampling for -spec (default: fast reduced axes)")
 		steps    = flag.Int("steps", 2, "workload depth")
-		seed     = flag.Int64("seed", 7, "twirl seed")
+		seed     = flag.Int64("seed", 7, "twirl seed (compile demo) / experiment seed override (-spec)")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
-		list     = flag.Bool("list", false, "list workloads, strategies, passes and backends")
+		list     = flag.Bool("list", false, "list workloads, strategies, passes, engines and backends")
 	)
 	flag.Parse()
 
@@ -155,10 +191,22 @@ func main() {
 		fmt.Printf("workloads:  %s\n", strings.Join(sortedKeys(workloads), " "))
 		fmt.Printf("strategies: %s\n", strings.Join(sortedKeys(strategies), " "))
 		fmt.Printf("passes:     %s\n", strings.Join(passNames(), " "))
+		fmt.Printf("engines:    %s\n", strings.Join(exec.EngineNames(), " "))
 		fmt.Printf("backends:\n")
 		for _, b := range device.Backends() {
-			fmt.Printf("  %-12s %3dq %-10s %s\n", b.Name, b.NQubits, b.Family, b.Description)
+			fmt.Printf("  %-12s %3dq %-10s engines=%-16s %s\n",
+				b.Name, b.NQubits, b.Family, strings.Join(b.Engines, ","), b.Description)
 		}
+		return
+	}
+	if *spec != "" {
+		seedSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "seed" {
+				seedSet = true
+			}
+		})
+		runSpec(*spec, *backend, *engine, *full, *seed, seedSet)
 		return
 	}
 	wf, ok := workloads[*workload]

@@ -6,6 +6,7 @@
 //	experiments -list
 //	experiments -id fig8 [-fast] [-shots N] [-instances K] [-seed S] [-workers W]
 //	experiments -id fig6 -backend heavyhex29
+//	experiments -id fig8 -backend eagle127 -engine stab
 //	experiments -all [-fast]
 //
 // -workers sets the unified parallelism budget per data point (twirl
@@ -13,7 +14,9 @@
 // for every worker count. -backend retargets a figure onto a named
 // registry backend (experiments that declare backend support only): the
 // layout stage places the workload on the least-noisy subregion and the
-// simulation runs on the induced sub-device. For cached, service-style
+// simulation runs on the induced sub-device. -engine selects the
+// simulation backend (statevector, stab, or auto) — full-device fig8 runs
+// on 127-qubit backends require the stabilizer engine. For cached, service-style
 // access to the same figures, run `casq serve` instead.
 package main
 
@@ -37,6 +40,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "concurrent twirl instances per point (0 = GOMAXPROCS)")
 		seed      = flag.Int64("seed", 0, "override random seed")
 		backend   = flag.String("backend", "", "run on a named registry backend (see casq -list)")
+		engine    = flag.String("engine", "", "simulation engine: statevector, stab, or auto")
 	)
 	flag.Parse()
 
@@ -63,6 +67,7 @@ func main() {
 		opts.Seed = *seed
 	}
 	opts.Backend = *backend
+	opts.Engine = *engine
 
 	ids := []string{}
 	switch {

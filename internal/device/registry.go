@@ -14,6 +14,24 @@ type BackendInfo struct {
 	Couplers    int    `json:"couplers"`
 	NNN         int    `json:"nnn"`
 	Description string `json:"description"`
+	// Engines lists the simulation backends able to run the FULL device:
+	// the stabilizer engine always can; the statevector kernel only up to
+	// its amplitude limit (sim.MaxQubits — kept in sync by a registry
+	// test). Larger backends remain statevector-targetable through the
+	// layout stage's induced subregions.
+	Engines []string `json:"engines"`
+}
+
+// statevectorMaxQubits mirrors sim.MaxQubits (device cannot import sim —
+// sim imports device); TestRegistryEngines pins the two together.
+const statevectorMaxQubits = 26
+
+// enginesFor returns the engines able to simulate a full n-qubit device.
+func enginesFor(n int) []string {
+	if n <= statevectorMaxQubits {
+		return []string{"statevector", "stab"}
+	}
+	return []string{"stab"}
 }
 
 type backendEntry struct {
@@ -35,6 +53,9 @@ func RegisterBackend(info BackendInfo, build func() *Device) {
 	defer registryMu.Unlock()
 	if _, dup := registry[info.Name]; dup {
 		panic("device: duplicate backend " + info.Name)
+	}
+	if info.Engines == nil {
+		info.Engines = enginesFor(info.NQubits)
 	}
 	registry[info.Name] = backendEntry{info: info, build: build}
 }
@@ -123,6 +144,11 @@ func init() {
 	hex("heavyhex29", 3, 9, 29, "29-qubit heavy-hex patch (Falcon-class)")
 	hex("heavyhex65", 5, 11, 65, "65-qubit heavy-hex lattice (Hummingbird-class)")
 	hex("heavyhex127", 7, 15, 127, "127-qubit heavy-hex lattice (Eagle-class)")
+	// eagle127 is the paper-facing name of the Eagle-class lattice: the
+	// same geometry, collision seed and calibration draw as heavyhex127,
+	// registered separately so `fig8 -backend eagle127` reads like the
+	// paper. Identical calibration is pinned by TestEagleAlias.
+	hex("eagle127", 7, 15, 127, "IBM Eagle-class 127-qubit lattice (alias of heavyhex127)")
 
 	RegisterBackend(BackendInfo{
 		Name: "hexfrag6", NQubits: 6, Family: "fragment", Couplers: 5, NNN: 1,

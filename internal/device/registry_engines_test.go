@@ -1,0 +1,65 @@
+package device_test
+
+import (
+	"testing"
+
+	"casq/internal/device"
+	"casq/internal/sim"
+)
+
+// TestRegistryEngines pins the engine capability listing to the
+// statevector kernel's real limit: every backend the statevector can hold
+// lists both engines, every larger one is stab-only, and every backend
+// lists at least one engine.
+func TestRegistryEngines(t *testing.T) {
+	for _, b := range device.Backends() {
+		has := func(name string) bool {
+			for _, e := range b.Engines {
+				if e == name {
+					return true
+				}
+			}
+			return false
+		}
+		if !has("stab") {
+			t.Errorf("%s: every backend must list the stab engine, got %v", b.Name, b.Engines)
+		}
+		if sv := b.NQubits <= sim.MaxQubits; sv != has("statevector") {
+			t.Errorf("%s (%dq): statevector listed=%v, want %v (sim.MaxQubits=%d)",
+				b.Name, b.NQubits, has("statevector"), sv, sim.MaxQubits)
+		}
+	}
+}
+
+// TestEagleAlias pins eagle127 to the exact calibration of heavyhex127:
+// same topology draw, same collision seed, same per-edge and per-qubit
+// tables — only the name differs.
+func TestEagleAlias(t *testing.T) {
+	eagle, err := device.NewBackend("eagle127")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hex, err := device.NewBackend("heavyhex127")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eagle.NQubits != hex.NQubits || len(eagle.Edges) != len(hex.Edges) || len(eagle.NNNEdges) != len(hex.NNNEdges) {
+		t.Fatalf("geometry mismatch: %dq/%d/%d vs %dq/%d/%d",
+			eagle.NQubits, len(eagle.Edges), len(eagle.NNNEdges), hex.NQubits, len(hex.Edges), len(hex.NNNEdges))
+	}
+	for i, e := range hex.Edges {
+		if eagle.Edges[i] != e {
+			t.Fatalf("edge %d differs: %v vs %v", i, eagle.Edges[i], e)
+		}
+	}
+	for e, v := range hex.ZZ {
+		if eagle.ZZ[e] != v {
+			t.Fatalf("ZZ[%v] differs: %g vs %g", e, eagle.ZZ[e], v)
+		}
+	}
+	for q := range hex.T1 {
+		if eagle.T1[q] != hex.T1[q] || eagle.Delta[q] != hex.Delta[q] {
+			t.Fatalf("qubit %d calibration differs", q)
+		}
+	}
+}

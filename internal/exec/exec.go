@@ -21,7 +21,77 @@ import (
 	"casq/internal/device"
 	"casq/internal/pass"
 	"casq/internal/sim"
+	"casq/internal/stab"
 )
+
+// Engine names accepted by RunOptions.Engine (and by the experiment,
+// sweep, serve, and CLI layers that forward to it).
+const (
+	// EngineStatevector is the exact noisy statevector kernel
+	// (internal/sim) — the default, limited to sim.MaxQubits.
+	EngineStatevector = "statevector"
+	// EngineStab is the stabilizer/Pauli-frame engine (internal/stab):
+	// O(shots*gates*n) scaling for twirl-representable circuits under the
+	// Pauli-twirling approximation.
+	EngineStab = "stab"
+	// EngineAuto dispatches per compiled instance: the stabilizer engine
+	// when the circuit is twirl-representable and twirled, the
+	// statevector kernel otherwise.
+	EngineAuto = "auto"
+)
+
+// EngineNames lists the selectable engines ("" is accepted as
+// EngineStatevector).
+func EngineNames() []string { return []string{EngineStatevector, EngineStab, EngineAuto} }
+
+// ValidEngine reports whether name is an accepted engine selector.
+func ValidEngine(name string) bool {
+	switch name {
+	case "", EngineStatevector, EngineStab, EngineAuto:
+		return true
+	}
+	return false
+}
+
+// resolveEngine picks the simulation backend for one compiled instance.
+// It returns the engine and the resolved name recorded in the report.
+func resolveEngine(dev *device.Device, cfg sim.Config, name string, c *circuit.Circuit) (sim.Engine, string, error) {
+	statevector := func() (sim.Engine, string, error) {
+		if c.NQubits > sim.MaxQubits {
+			return nil, "", fmt.Errorf("exec: %d qubits exceed the statevector limit of %d — run with Engine %q (twirl-representable circuits only)",
+				c.NQubits, sim.MaxQubits, EngineStab)
+		}
+		return sim.New(dev, cfg), EngineStatevector, nil
+	}
+	switch name {
+	case "", EngineStatevector:
+		return statevector()
+	case EngineStab:
+		if err := stab.Supports(c); err != nil {
+			return nil, "", fmt.Errorf("exec: engine %q cannot represent the compiled circuit: %w", EngineStab, err)
+		}
+		return stab.New(dev, cfg), EngineStab, nil
+	case EngineAuto:
+		supErr := stab.Supports(c)
+		if supErr == nil && stab.HasTwirl(c) {
+			return stab.New(dev, cfg), EngineStab, nil
+		}
+		eng, resolved, err := statevector()
+		if err != nil {
+			// Don't advise "use stab" when auto just determined it can't:
+			// say why the dispatch fell through instead.
+			if supErr != nil {
+				err = fmt.Errorf("exec: %d qubits exceed the statevector limit of %d and auto could not select %q: %w",
+					c.NQubits, sim.MaxQubits, EngineStab, supErr)
+			} else {
+				err = fmt.Errorf("exec: %d qubits exceed the statevector limit of %d and auto could not select %q: circuit carries no twirl",
+					c.NQubits, sim.MaxQubits, EngineStab)
+			}
+		}
+		return eng, resolved, err
+	}
+	return nil, "", fmt.Errorf("exec: unknown engine %q (known: %v)", name, EngineNames())
+}
 
 // RunOptions configure one twirl-averaged execution.
 type RunOptions struct {
@@ -42,6 +112,13 @@ type RunOptions struct {
 	// budget across all instances; Cfg.Seed seeds instance 0's simulation
 	// (instance k uses Cfg.Seed + 101k).
 	Cfg sim.Config
+	// Engine selects the simulation backend: EngineStatevector (the
+	// default, also ""), EngineStab, or EngineAuto. Auto dispatches per
+	// instance to the stabilizer engine when the compiled circuit is
+	// twirl-representable and twirled — the regime where the two engines
+	// agree within sampling error — and to the statevector kernel
+	// otherwise. The resolved engine is recorded in each instance Report.
+	Engine string
 }
 
 // Job is one unit of executor work.
@@ -144,6 +221,9 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 		return Result{}, fmt.Errorf("exec: job has no circuit")
 	}
 	ro := job.Opts
+	if !ValidEngine(ro.Engine) {
+		return Result{}, fmt.Errorf("exec: unknown engine %q (known: %v)", ro.Engine, EngineNames())
+	}
 	if ro.Instances < 1 {
 		ro.Instances = 1
 	}
@@ -157,7 +237,7 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 
 	runInstance := func(k int) (instanceOut, error) {
 		rng := rand.New(rand.NewSource(InstanceSeed(ro.Seed, k)))
-		compiled, rep, err := e.Pipeline.Apply(e.Dev, rng, job.Circuit)
+		compiled, rep, err := e.Pipeline.ApplyForEngine(e.Dev, rng, job.Circuit, ro.Engine)
 		if err != nil {
 			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
 		}
@@ -173,7 +253,11 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 			cfg.Shots++
 		}
 		cfg.Seed = ro.Cfg.Seed + int64(k)*101
-		r := sim.New(e.Dev, cfg)
+		r, engine, err := resolveEngine(e.Dev, cfg, ro.Engine, compiled)
+		if err != nil {
+			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
+		}
+		rep.Engine = engine
 		out := instanceOut{shots: cfg.Shots, report: rep}
 		if len(job.Observables) > 0 {
 			out.vals, err = r.Expectations(compiled, job.Observables)

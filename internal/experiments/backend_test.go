@@ -111,9 +111,26 @@ func TestFig7OnRegistryBackend(t *testing.T) {
 func TestBackendValidation(t *testing.T) {
 	o := fastOpts()
 	o.Backend = "heavyhex29"
-	if _, err := Run("fig8", o); err == nil {
-		t.Error("fig8 does not declare backends and must reject one")
+	if _, err := Run("fig5", o); err == nil {
+		t.Error("fig5 does not declare backends and must reject one")
 	}
+	o.Backend = ""
+	o.Engine = "warp"
+	if _, err := Run("fig5", o); err == nil {
+		t.Error("unknown engine must error")
+	}
+	o.Engine = "stab"
+	if _, err := Run("fig5", o); err == nil {
+		t.Error("fig5 does not honor engines and must reject stab rather than silently ignore it")
+	}
+	if _, err := Run("table1", o); err == nil {
+		t.Error("table1 does not honor engines and must reject stab")
+	}
+	o.Engine = "statevector"
+	if _, err := Run("fig5", o); err != nil {
+		t.Errorf("explicit statevector is always honored: %v", err)
+	}
+	o.Engine = ""
 	o.Backend = "not-a-backend"
 	if _, err := Run("fig6", o); err == nil {
 		t.Error("unknown backend must error")

@@ -127,6 +127,13 @@ type Options struct {
 	// the figure's own default device, bit-identical to earlier releases.
 	// Only experiments declaring the backend in Spec.Backends support this.
 	Backend string
+	// Engine selects the simulation backend the harness's executor runs
+	// on: "" or "statevector" (exact kernel, bit-identical to earlier
+	// releases), "stab" (the stabilizer/Pauli-frame engine for
+	// twirl-representable circuits — the only engine that simulates
+	// full-scale 127-qubit devices), or "auto" (per-instance dispatch).
+	// fig8 with a full-device Backend defaults to "auto".
+	Engine string
 }
 
 // DefaultOptions is the full-quality configuration used to produce

@@ -1,6 +1,10 @@
 package experiments
 
-import "fmt"
+import (
+	"fmt"
+
+	"casq/internal/exec"
+)
 
 // Runner regenerates one figure/table. It receives the experiment's own
 // Spec so the harness reads its parameter space from the declaration
@@ -37,11 +41,32 @@ type Spec struct {
 	// is then placed by the layout stage instead of running on the
 	// harness's built-in device. Empty means default-device only.
 	Backends []string `json:"backends,omitempty"`
+	// Engines lists the non-default simulation engines this experiment's
+	// harness honors via Options.Engine (it threads them into its
+	// executor). "" and "statevector" are always accepted; harnesses that
+	// simulate outside the executor (fig4a/fig4b characterizations,
+	// fig5, table1) declare none, so requesting "stab" there is an error
+	// rather than a silently-ignored option.
+	Engines []string `json:"engines,omitempty"`
 	// DerivesFrom names the experiment whose figure this one post-
 	// processes; such specs set Derive instead of Run.
 	DerivesFrom string  `json:"derives_from,omitempty"`
 	Run         Runner  `json:"-"`
 	Derive      Deriver `json:"-"`
+}
+
+// SupportsEngine reports whether the spec's harness honors the named
+// engine ("" and "statevector" — the default — are always supported).
+func (sp Spec) SupportsEngine(name string) bool {
+	if name == "" || name == exec.EngineStatevector {
+		return true
+	}
+	for _, e := range sp.Engines {
+		if e == name {
+			return true
+		}
+	}
+	return false
 }
 
 // SupportsBackend reports whether the spec declares the named backend
@@ -109,10 +134,18 @@ var fig7Axes = []Axis{depthAxis(1, 2, 3, 4, 5, 6),
 // (Fig. 7) needs a 12-cycle, which heavy-hex provides natively (its
 // smallest plaquette is exactly 12 qubits) and the grid via 12-cycles.
 // fig7c and fig7d share one list for the same reason they share axes.
+// fig8's backends are full devices, not embedding targets: the harness
+// benchmarks a layer tiled over the whole backend, which beyond
+// sim.MaxQubits is only simulable by the stabilizer engine.
 var (
 	fig6Backends = []string{"line6", "line12", "ring12", "grid16", "heavyhex29", "heavyhex65", "heavyhex127"}
 	fig7Backends = []string{"ring12", "grid16", "heavyhex29", "heavyhex65", "heavyhex127"}
+	fig8Backends = []string{"layerfid10", "heavyhex29", "heavyhex65", "heavyhex127", "eagle127"}
 )
+
+// engineAware marks specs whose harness threads Options.Engine into its
+// executor; specs without it run the statevector kernel unconditionally.
+var engineAware = []string{exec.EngineStab, exec.EngineAuto}
 
 // catalog is the declarative experiment registry, in paper order. Every
 // figure's sweep space lives here, not in the harnesses: the harness asks
@@ -120,15 +153,19 @@ var (
 // declarations over HTTP.
 var catalog = []Spec{
 	{ID: "fig3c", Title: "Ramsey case I: adjacent idle qubits", Paper: "Fig. 3c",
+		Engines:    engineAware,
 		Strategies: []string{"noisy", "aligned-dd", "staggered", "ca-ec", "ec+dd"},
 		Axes:       []Axis{ramseyDepths}, Run: Fig3cCaseI},
 	{ID: "fig3d", Title: "Ramsey case II: control spectator", Paper: "Fig. 3d",
+		Engines:    engineAware,
 		Strategies: []string{"noisy", "aligned-dd", "ca-dd", "ca-ec"},
 		Axes:       []Axis{ramseyDepths}, Run: Fig3dCaseII},
 	{ID: "fig3e", Title: "Ramsey case III: target spectator", Paper: "Fig. 3e",
+		Engines:    engineAware,
 		Strategies: []string{"noisy", "ca-dd", "ca-ec"},
 		Axes:       []Axis{ramseyDepths}, Run: Fig3eCaseIII},
 	{ID: "fig3f", Title: "Ramsey case IV: adjacent controls", Paper: "Fig. 3f",
+		Engines:    engineAware,
 		Strategies: []string{"noisy", "ca-dd", "ca-ec"},
 		Axes:       []Axis{ramseyDepths}, Run: Fig3fCaseIV},
 	{ID: "fig4a", Title: "Stark shift on a gate spectator", Paper: "Fig. 4a",
@@ -138,33 +175,41 @@ var catalog = []Spec{
 		Axes: []Axis{depthAxis(0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 14, 16, 18, 20, 22, 24, 26, 28, 30)},
 		Run:  Fig4bParity},
 	{ID: "fig4c", Title: "NNN crosstalk vs DD hierarchy", Paper: "Fig. 4c",
+		Engines:    engineAware,
 		Strategies: []string{"none", "aligned", "staggered", "walsh(ca)"},
 		Axes:       []Axis{depthAxis(0, 2, 4, 6, 8, 12, 16, 20, 24, 30)},
 		Run:        Fig4cNNN},
 	{ID: "fig5", Title: "CA-DD constrained coloring example", Paper: "Fig. 5",
 		Strategies: []string{"ca-dd"}, Run: Fig5Coloring},
 	{ID: "fig6", Title: "Floquet Ising chain <X0 X5>", Paper: "Fig. 6",
+		Engines:    engineAware,
 		Strategies: []string{"twirled", "ca-ec", "ca-dd"},
 		Backends:   fig6Backends,
 		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6, 7, 8)}, Run: Fig6Ising},
 	{ID: "fig7c", Title: "Heisenberg ring <Z2> (12 spins)", Paper: "Fig. 7c",
+		Engines:    engineAware,
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
 		Backends:   fig7Backends,
 		Axes:       fig7Axes, Run: Fig7cHeisenberg},
 	{ID: "fig7d", Title: "mitigation overhead (Heisenberg)", Paper: "Fig. 7d",
+		Engines:    engineAware,
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
 		Backends:   fig7Backends,
 		Axes:       fig7Axes, DerivesFrom: "fig7c", Derive: Fig7dOverhead},
 	{ID: "fig8", Title: "layer fidelity, 10-qubit sparse layer", Paper: "Fig. 8",
+		Engines:    engineAware,
 		Strategies: []string{"twirled", "dd-aligned", "ca-dd", "ca-ec"},
+		Backends:   fig8Backends,
 		Axes:       []Axis{{Name: "lf_depth", Values: []float64{1, 2, 4, 6, 9, 12}, Fast: []float64{1, 2, 4}}},
 		Run:        Fig8LayerFidelity},
 	{ID: "fig9", Title: "dynamic-circuit Bell fidelity vs assumed tau", Paper: "Fig. 9",
+		Engines:    engineAware,
 		Strategies: []string{"bare", "ca-ec"},
 		Axes: []Axis{{Name: "tau_ns", Values: []float64{0, 250, 500, 750, 1000, 1150, 1300, 1500, 1750, 2000, 2300},
 			Fast: []float64{0, 500, 1150, 1750}}},
 		Run: Fig9Dynamic},
 	{ID: "fig10", Title: "combined strategy P00 (6 qubits)", Paper: "Fig. 10",
+		Engines:    engineAware,
 		Strategies: []string{"twirled", "ca-dd", "ca-ec", "ca-ec+dd"},
 		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6)}, Run: Fig10Combined},
 	{ID: "table1", Title: "error sources and suppression", Paper: "Table I",
@@ -218,6 +263,13 @@ func Run(id string, opts Options) (Figure, error) {
 	if !sp.SupportsBackend(opts.Backend) {
 		return Figure{}, fmt.Errorf("experiments: %s does not support backend %q (declared: %v)",
 			id, opts.Backend, sp.Backends)
+	}
+	if !exec.ValidEngine(opts.Engine) {
+		return Figure{}, fmt.Errorf("experiments: unknown engine %q (known: %v)", opts.Engine, exec.EngineNames())
+	}
+	if !sp.SupportsEngine(opts.Engine) {
+		return Figure{}, fmt.Errorf("experiments: %s does not honor engine %q (declared: %v)",
+			id, opts.Engine, sp.Engines)
 	}
 	if sp.DerivesFrom != "" {
 		base, err := Run(sp.DerivesFrom, opts)

@@ -102,6 +102,11 @@ type Options struct {
 	// PauliRounds bounds how many basis Paulis are measured per partition
 	// (pairs have 15; 0 = all).
 	PauliRounds int
+	// Engine selects the executor's simulation backend ("" = statevector,
+	// "stab", "auto"). Full-device runs on 127-qubit lattices require the
+	// stabilizer engine; the protocol's circuits are twirled Clifford, so
+	// "auto" resolves to it.
+	Engine string
 }
 
 // DefaultOptions uses depth points suited to layer fidelities in the
@@ -232,7 +237,7 @@ func Measure(dev *device.Device, layer *circuit.Layer, strategy core.Strategy, o
 			cfg.Seed = opts.Seed + int64(round*7919+d*13)
 			cfg.EnableReadoutErr = false // expectations are readout-corrected
 			vals, err := ex.Expectations(context.Background(), c, obs,
-				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(round*1000+d), Cfg: cfg})
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(round*1000+d), Cfg: cfg, Engine: opts.Engine})
 			if err != nil {
 				return Result{}, err
 			}
@@ -297,4 +302,24 @@ func Measure(dev *device.Device, layer *circuit.Layer, strategy core.Strategy, o
 func BenchmarkLayerDevice(opts device.Options) (*device.Device, *circuit.Layer, map[int]int) {
 	dev, labels := device.NewLayerFidelityDevice(opts)
 	return dev, models.LayerFidelityLayer(), labels
+}
+
+// TiledLayer builds a full-device benchmark layer: a greedy maximal
+// matching of the device's couplers, one ECR per matched edge in its
+// calibrated direction. On the 127-qubit Eagle lattice this is the
+// at-scale analogue of the paper's sparse Fig. 8 layer — every qubit is
+// either gated or an idle spectator of a gate, which is exactly the
+// regime the layer-fidelity protocol benchmarks.
+func TiledLayer(dev *device.Device) *circuit.Layer {
+	used := make([]bool, dev.NQubits)
+	l := &circuit.Layer{Kind: circuit.TwoQubitLayer}
+	for _, e := range dev.Edges {
+		if used[e.A] || used[e.B] {
+			continue
+		}
+		used[e.A], used[e.B] = true, true
+		dir := dev.ECRDir[e]
+		l.ECR(dir.Src, dir.Dst)
+	}
+	return l
 }

@@ -47,6 +47,11 @@ type Context struct {
 	Rng *rand.Rand
 	// Report is the sink the passes record their work into.
 	Report *Report
+	// Engine names the simulation backend this compilation targets
+	// ("statevector", "stab", "auto"; "" = statevector). Passes may
+	// consult it to keep their output representable — e.g. avoid
+	// non-Clifford rewrites when compiling for the stabilizer engine.
+	Engine string
 }
 
 // Report accumulates what the passes of one pipeline application did.
@@ -70,6 +75,11 @@ type Report struct {
 	FinalLayout []int
 	// Swaps counts SWAP gates inserted by routing passes.
 	Swaps int
+
+	// Engine is the simulation backend that executed this compilation
+	// ("statevector" or "stab"), recorded by the executor after engine
+	// dispatch; empty when the circuit was compiled but not executed.
+	Engine string
 }
 
 // Pass is one composable circuit transformation. Apply mutates the circuit
@@ -219,7 +229,15 @@ func (p Pipeline) String() string {
 // result always carries a valid timing assignment, validates, and returns
 // the compiled circuit with the report. The input circuit is not mutated.
 func (p Pipeline) Apply(dev *device.Device, rng *rand.Rand, c *circuit.Circuit) (*circuit.Circuit, Report, error) {
-	ctx := &Context{Dev: dev, Rng: rng, Report: &Report{Pipeline: p.Name}}
+	return p.ApplyForEngine(dev, rng, c, "")
+}
+
+// ApplyForEngine is Apply with the target simulation engine declared in
+// the pass Context, so engine-aware passes can adapt their rewrites. The
+// RNG draw sequence is independent of the engine: the same seed compiles
+// to the same circuit under either backend.
+func (p Pipeline) ApplyForEngine(dev *device.Device, rng *rand.Rand, c *circuit.Circuit, engine string) (*circuit.Circuit, Report, error) {
+	ctx := &Context{Dev: dev, Rng: rng, Report: &Report{Pipeline: p.Name}, Engine: engine}
 	out := c.Clone()
 	for _, ps := range p.Passes {
 		if err := ps.Apply(ctx, out); err != nil {

@@ -244,6 +244,55 @@ func (t *CliffordTable) Conjugate(p Pair) Conjugation {
 	return t.table[pairIndex(p)]
 }
 
+// Conjugation1 records G P G^dagger = sign * Q for a one-qubit Clifford
+// gate G. Sign is +1 or -1.
+type Conjugation1 struct {
+	Out  Pauli
+	Sign int
+}
+
+// Clifford1Q maps single-qubit Paulis through conjugation by a fixed
+// one-qubit Clifford gate. It is the 1q analogue of CliffordTable and is
+// what the stabilizer tableau and the Pauli-frame sampler use to push
+// frames through SX/H/S-type layers.
+type Clifford1Q struct {
+	table [4]Conjugation1
+}
+
+// NewClifford1Q builds the conjugation table for the 2x2 Clifford unitary
+// g. It returns an error if g does not map every Pauli to +/- a Pauli,
+// i.e. if g is not Clifford (up to phase).
+func NewClifford1Q(g linalg.Matrix) (*Clifford1Q, error) {
+	if g.N != 2 {
+		return nil, fmt.Errorf("pauli: 1q Clifford table needs a 2x2 matrix, got %dx%d", g.N, g.N)
+	}
+	gd := linalg.Dagger(g)
+	var t Clifford1Q
+	for p := I; p <= Z; p++ {
+		conj := linalg.MulChain(g, p.Matrix(), gd)
+		found := false
+		for q := I; q <= Z && !found; q++ {
+			for _, sign := range []int{1, -1} {
+				scaled := linalg.Scale(complex(float64(sign), 0), q.Matrix())
+				if linalg.ApproxEqual(conj, scaled, 1e-9) {
+					t.table[p] = Conjugation1{q, sign}
+					found = true
+					break
+				}
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("pauli: matrix is not Clifford: no Pauli image for %v", p)
+		}
+	}
+	return &t, nil
+}
+
+// Conjugate returns the image of p under the table's gate.
+func (t *Clifford1Q) Conjugate(p Pauli) Conjugation1 {
+	return t.table[p]
+}
+
 // InvertFor returns the pair (Q0, Q1) such that applying (P0 x P1) before the
 // gate and (Q0 x Q1) after it leaves the gate's action unchanged up to the
 // returned sign: (Q0 x Q1) G (P0 x P1) = sign * G. This is the relation a

@@ -91,9 +91,19 @@ func TestFigureBackendParam(t *testing.T) {
 		t.Errorf("unknown backend: status %d", rec.Code)
 	}
 	rec = httptest.NewRecorder()
-	h.ServeHTTP(rec, httptest.NewRequest("GET", "/figures/fig8?backend=heavyhex29", nil))
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/figures/fig5?backend=heavyhex29", nil))
 	if rec.Code != http.StatusBadRequest {
-		t.Errorf("fig8 with an undeclared backend must be a 400 client error, got %d", rec.Code)
+		t.Errorf("fig5 with an undeclared backend must be a 400 client error, got %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/figures/fig6?engine=warp", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown engine must be a 400 client error, got %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/figures/fig5?engine=stab", nil))
+	if rec.Code != http.StatusBadRequest {
+		t.Errorf("fig5 with an undeclared engine must be a 400 client error, got %d", rec.Code)
 	}
 	if calls := len(gotBackend); calls != 2 {
 		t.Errorf("compute ran %d times, want 2 (bad requests must not compute)", calls)

@@ -10,8 +10,8 @@
 //	GET  /experiments   catalog of declarative experiment Specs
 //	GET  /backends      the named device registry (sizes, families)
 //	GET  /figures/{id}  one figure; options via query parameters
-//	                    (seed, shots, instances, maxdepth, fast, backend);
-//	                    X-Casq-Cache reports hit or miss
+//	                    (seed, shots, instances, maxdepth, fast, backend,
+//	                    engine); X-Casq-Cache reports hit or miss
 //	POST /sweeps        submit a sweep.Spec as JSON; returns 202 + id
 //	GET  /sweeps/{id}   progress of a submitted sweep
 //	GET  /healthz       liveness plus store cache counters
@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"casq/internal/device"
+	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/sweep"
 )
@@ -106,7 +107,7 @@ func (s *Server) handleBackends(w http.ResponseWriter, r *http.Request) {
 // must not silently serve — and cache — a different configuration.
 var figureParams = map[string]bool{
 	"seed": true, "shots": true, "instances": true, "maxdepth": true, "fast": true,
-	"backend": true,
+	"backend": true, "engine": true,
 }
 
 // figureOptions binds the request's query parameters to run Options:
@@ -117,7 +118,7 @@ func figureOptions(r *http.Request) (experiments.Options, error) {
 	opts := experiments.DefaultOptions()
 	for name := range q {
 		if !figureParams[name] {
-			return opts, fmt.Errorf("unknown parameter %q (known: backend, fast, instances, maxdepth, seed, shots)", name)
+			return opts, fmt.Errorf("unknown parameter %q (known: backend, engine, fast, instances, maxdepth, seed, shots)", name)
 		}
 	}
 	if fast, err := boolParam(q.Get("fast")); err != nil {
@@ -154,6 +155,12 @@ func figureOptions(r *http.Request) (experiments.Options, error) {
 		}
 		opts.Backend = v
 	}
+	if v := q.Get("engine"); v != "" {
+		if !exec.ValidEngine(v) {
+			return opts, fmt.Errorf("engine: unknown %q (known: %v)", v, exec.EngineNames())
+		}
+		opts.Engine = v
+	}
 	return opts, nil
 }
 
@@ -179,12 +186,18 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// A known backend the figure does not declare is the client's mistake,
-	// not a server fault — reject before the compute path turns it into a
-	// 500.
+	// A known backend or engine the figure does not declare is the
+	// client's mistake, not a server fault — reject before the compute
+	// path turns it into a 500 (or, worse for the engine, a silently
+	// statevector-computed figure cached under an engine-qualified key).
 	if !sp.SupportsBackend(opts.Backend) {
 		writeError(w, http.StatusBadRequest,
 			"experiment %s does not support backend %q (declared: %v)", id, opts.Backend, sp.Backends)
+		return
+	}
+	if !sp.SupportsEngine(opts.Engine) {
+		writeError(w, http.StatusBadRequest,
+			"experiment %s does not honor engine %q (declared: %v)", id, opts.Engine, sp.Engines)
 		return
 	}
 	data, hit, err := s.cache.Figure(sweep.Cell{ID: id, Opts: opts})
@@ -266,6 +279,7 @@ type sweepCellState struct {
 	Instances  int             `json:"instances"`
 	MaxDepth   int             `json:"max_depth"`
 	Backend    string          `json:"backend,omitempty"`
+	Engine     string          `json:"engine,omitempty"`
 	State      sweep.CellState `json:"state"`
 }
 
@@ -283,7 +297,8 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	body := sweepStatus{ID: id, Progress: run.Progress(), Cells: make([]sweepCellState, len(cells))}
 	for i, c := range cells {
 		body.Cells[i] = sweepCellState{Experiment: c.ID, Seed: c.Opts.Seed, Shots: c.Opts.Shots,
-			Instances: c.Opts.Instances, MaxDepth: c.Opts.MaxDepth, Backend: c.Opts.Backend, State: states[i]}
+			Instances: c.Opts.Instances, MaxDepth: c.Opts.MaxDepth, Backend: c.Opts.Backend,
+			Engine: c.Opts.Engine, State: states[i]}
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -122,17 +122,25 @@ func (r *Runner) numShots() int {
 
 // shotSeed derives the deterministic seed of shot i.
 func (r *Runner) shotSeed(i int) int64 {
-	return r.Cfg.Seed*1000003 + int64(i)*7919 + 13
+	return ShotSeed(r.Cfg.Seed, i)
 }
 
-// forEachShot runs fn for every shot index, parallelized over workers, with
-// deterministic per-shot seeding independent of scheduling. Each worker
-// owns exactly one shot value for its whole lifetime and claims indices
-// from an atomic counter; with one worker the loop runs inline with no
-// goroutines or channels at all.
-func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
-	shots := r.numShots()
-	workers := r.Cfg.Workers
+// ShotSeed derives the deterministic seed of shot i from a config seed.
+// It is the single seeding convention of every engine (the stabilizer
+// engine consumes it too), so trajectory seeding cannot silently diverge
+// between backends.
+func ShotSeed(seed int64, i int) int64 {
+	return seed*1000003 + int64(i)*7919 + 13
+}
+
+// ForEachShot runs fn for every shot index, parallelized over workers
+// (0 = GOMAXPROCS), with per-worker state created once and reused: each
+// worker owns one S for its whole lifetime and claims indices from an
+// atomic counter, so the steady-state loop allocates nothing and results
+// must not depend on which worker ran which index. With one worker the
+// loop runs inline with no goroutines at all. Shared by the statevector
+// and stabilizer engines.
+func ForEachShot[S any](shots, workers int, newState func() S, fn func(i int, s S)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -140,9 +148,8 @@ func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
 		workers = shots
 	}
 	if workers == 1 {
-		s := r.newShot(cp)
+		s := newState()
 		for i := 0; i < shots; i++ {
-			s.reset(r.shotSeed(i))
 			fn(i, s)
 		}
 		return
@@ -153,18 +160,27 @@ func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			s := r.newShot(cp)
+			s := newState()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= shots {
 					return
 				}
-				s.reset(r.shotSeed(i))
 				fn(i, s)
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// forEachShot is the Runner's shot loop: reusable per-worker shot state,
+// deterministic per-shot seeding independent of scheduling.
+func (r *Runner) forEachShot(fn func(i int, s *shot), cp *compiled) {
+	ForEachShot(r.numShots(), r.Cfg.Workers, func() *shot { return r.newShot(cp) },
+		func(i int, s *shot) {
+			s.reset(r.shotSeed(i))
+			fn(i, s)
+		})
 }
 
 // run executes every layer of the compiled circuit.

@@ -37,6 +37,22 @@ var (
 	zxMinusQuarter = []float64{-math.Pi / 4}
 )
 
+// Engine is the simulation-backend contract shared by the statevector
+// Runner and the stabilizer/Pauli-frame engine (internal/stab). Both take
+// a compiled, scheduled circuit and produce sampled bitstring counts or
+// trajectory-averaged Pauli expectation values; the executor dispatches
+// between them per job (internal/exec).
+type Engine interface {
+	Counts(c *circuit.Circuit) (Result, error)
+	Expectations(c *circuit.Circuit, obs []ObsSpec) ([]float64, error)
+}
+
+// MaxQubits is the largest circuit width the statevector engine accepts:
+// a 2^n-amplitude state costs 16*2^n bytes per shot worker, so beyond
+// this the executor must route the job to the stabilizer engine instead
+// of letting the allocation take the process down.
+const MaxQubits = 26
+
 // Config toggles the noise channels and sets sampling parameters.
 type Config struct {
 	Shots   int
@@ -305,9 +321,15 @@ type matKey struct {
 	p0, p1, p2 float64
 }
 
+// Runner implements Engine.
+var _ Engine = (*Runner)(nil)
+
 func (r *Runner) compile(c *circuit.Circuit) (*compiled, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
+	}
+	if c.NQubits > MaxQubits {
+		return nil, fmt.Errorf("sim: %d qubits exceed the statevector limit of %d; use the stabilizer engine (internal/stab) for full-scale twirled circuits", c.NQubits, MaxQubits)
 	}
 	cp := &compiled{nq: c.NQubits, ncb: c.NCBits, edgeIdx: map[device.Edge]int{}}
 	addEdge := func(e device.Edge, hz float64) int {
@@ -538,7 +560,10 @@ func matchesPattern(pattern, bits string) bool {
 	return true
 }
 
-func bitsKey(cbits []int) string {
+// BitsKey formats measured classical bits as the Counts map key
+// (classical bit i at string position i). Shared with the stabilizer
+// engine so both backends key merged counts identically.
+func BitsKey(cbits []int) string {
 	b := make([]byte, len(cbits))
 	for i, v := range cbits {
 		b[i] = byte('0' + v)
@@ -558,7 +583,7 @@ func (r *Runner) Counts(c *circuit.Circuit) (Result, error) {
 	keys := make([]string, shots)
 	r.forEachShot(func(i int, s *shot) {
 		s.run(cp)
-		keys[i] = bitsKey(s.cbits)
+		keys[i] = BitsKey(s.cbits)
 	}, cp)
 	for _, k := range keys {
 		res.Counts[k]++

@@ -1,0 +1,176 @@
+package stab
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casq/internal/gates"
+	"casq/internal/linalg"
+	"casq/internal/pauli"
+)
+
+// randomCliffordStep applies one random Clifford gate to both the tableau
+// and the statevector.
+func randomCliffordStep(t *testing.T, rng *rand.Rand, tab *Tableau, psi linalg.Vector, n int) {
+	t.Helper()
+	switch rng.Intn(3) {
+	case 0: // generic 1q Clifford via table
+		kinds := []gates.Kind{gates.H, gates.S, gates.Sdg, gates.SX, gates.SXdg}
+		g := kinds[rng.Intn(len(kinds))]
+		q := rng.Intn(n)
+		tbl := clifford1For(g, nil)
+		if tbl == nil {
+			t.Fatalf("%s should be Clifford", g)
+		}
+		tab.ApplyClifford1(q, tbl)
+		psi.Apply1Q(gates.Matrix1Q(g), q)
+	case 1: // Pauli gate
+		ps := []pauli.Pauli{pauli.X, pauli.Y, pauli.Z}
+		p := ps[rng.Intn(3)]
+		q := rng.Intn(n)
+		tab.ApplyPauli(q, p)
+		psi.Apply1Q(p.Matrix(), q)
+	default: // 2q Clifford
+		kinds := []gates.Kind{gates.ECR, gates.CX, gates.SWAP}
+		g := kinds[rng.Intn(len(kinds))]
+		q0 := rng.Intn(n)
+		q1 := rng.Intn(n)
+		for q1 == q0 {
+			q1 = rng.Intn(n)
+		}
+		tbl := clifford2For(g, nil)
+		if tbl == nil {
+			t.Fatalf("%s should be Clifford", g)
+		}
+		tab.ApplyClifford2(q0, q1, tbl)
+		psi.Apply2Q(gates.Matrix2Q(g), q0, q1)
+	}
+}
+
+// TestTableauExpectationsMatchStatevector drives random Clifford circuits
+// through the bit-packed tableau and an exact statevector in lockstep and
+// compares every Pauli expectation on the final state.
+func TestTableauExpectationsMatchStatevector(t *testing.T) {
+	const n = 4
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		tab := NewTableau(n)
+		psi := linalg.NewVector(n)
+		psi[0] = 1
+		steps := 3 + rng.Intn(12)
+		for s := 0; s < steps; s++ {
+			randomCliffordStep(t, rng, tab, psi, n)
+		}
+		// Exhaustive Pauli strings on 4 qubits (256 of them).
+		idx := make([]pauli.Pauli, n)
+		for {
+			s := pauli.String{Ops: append([]pauli.Pauli(nil), idx...)}
+			got, err := tab.Expect(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := s.ExpectationOnState(psi)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: <%v>: tableau %.3f, statevector %.3f", trial, s, got, want)
+			}
+			i := 0
+			for ; i < n; i++ {
+				if idx[i] < pauli.Z {
+					idx[i]++
+					break
+				}
+				idx[i] = pauli.I
+			}
+			if i == n {
+				break
+			}
+		}
+	}
+}
+
+// TestTableauMeasureBellCorrelation checks the CHP measurement update:
+// measuring one half of a Bell pair is random, the other half then
+// deterministic and equal, and the recorded branch-flip stabilizer
+// anticommutes with Z on the measured qubit.
+func TestTableauMeasureBellCorrelation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		tab := NewTableau(2)
+		tab.ApplyClifford1(0, clifford1For(gates.H, nil))
+		tab.ApplyClifford2(0, 1, clifford2For(gates.CX, nil))
+		b0, det, fx, fz := tab.MeasureZ(0, rng)
+		if det {
+			t.Fatal("Bell measurement should be nondeterministic")
+		}
+		if fx == nil || fz == nil {
+			t.Fatal("nondeterministic measurement must record a flip stabilizer")
+		}
+		// The flip stabilizer must anticommute with Z_0.
+		pz := []uint64{1}
+		px := []uint64{0}
+		var par uint64
+		par ^= fx[0] & pz[0]
+		par ^= fz[0] & px[0]
+		if !parity64(par) {
+			t.Fatal("flip stabilizer commutes with Z0")
+		}
+		b1, det1, _, _ := tab.MeasureZ(1, rng)
+		if !det1 {
+			t.Fatal("second Bell measurement should be deterministic")
+		}
+		if b0 != b1 {
+			t.Fatalf("Bell outcomes disagree: %d vs %d", b0, b1)
+		}
+	}
+}
+
+// TestTableauDeterministicMeasure pins deterministic outcomes: |0>, X|0>,
+// and a +1 X eigenstate measured after H.
+func TestTableauDeterministicMeasure(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tab := NewTableau(1)
+	if b, det, _, _ := tab.MeasureZ(0, rng); !det || b != 0 {
+		t.Fatalf("|0> measurement: got %d det=%v", b, det)
+	}
+	tab.ApplyPauli(0, pauli.X)
+	if b, det, _, _ := tab.MeasureZ(0, rng); !det || b != 1 {
+		t.Fatalf("X|0> measurement: got %d det=%v", b, det)
+	}
+	// H|1> is |->: X expectation -1, Z expectation 0.
+	tab.ApplyClifford1(0, clifford1For(gates.H, nil))
+	sX, _ := pauli.ParseString("X")
+	if v, err := tab.Expect(sX); err != nil || v != -1 {
+		t.Fatalf("<X> on |->: %v err=%v", v, err)
+	}
+	sZ, _ := pauli.ParseString("Z")
+	if v, err := tab.Expect(sZ); err != nil || v != 0 {
+		t.Fatalf("<Z> on |->: %v err=%v", v, err)
+	}
+}
+
+// TestSplitQuarter pins the Clifford/residual decomposition of virtual-Z
+// angles.
+func TestSplitQuarter(t *testing.T) {
+	cases := []struct {
+		theta float64
+		k     int
+		delta float64
+	}{
+		{0, 0, 0},
+		{math.Pi / 2, 1, 0},
+		{math.Pi, 2, 0},
+		{-math.Pi / 2, 3, 0},
+		{3 * math.Pi / 2, 3, 0},
+		{2 * math.Pi, 0, 0},
+		{0.01, 0, 0.01},
+		{math.Pi/2 + 0.02, 1, 0.02},
+		{-0.03, 0, -0.03},
+	}
+	for _, c := range cases {
+		k, d := splitQuarter(c.theta)
+		if k != c.k || math.Abs(d-c.delta) > 1e-12 {
+			t.Fatalf("splitQuarter(%g) = (%d, %g), want (%d, %g)", c.theta, k, d, c.k, c.delta)
+		}
+	}
+}

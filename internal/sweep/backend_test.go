@@ -35,18 +35,63 @@ func TestBackendAxisExpansion(t *testing.T) {
 	}
 }
 
+// TestEngineAxisKeys: engine-qualified cells must hash to distinct store
+// keys — a stabilizer-engine figure is a different artifact from the
+// statevector one.
+func TestEngineAxisKeys(t *testing.T) {
+	spec := Spec{
+		IDs:  []string{"fig8"},
+		Grid: Grid{Engines: []string{"statevector", "stab"}},
+		Base: experiments.Options{Seed: 1, Shots: 8, Instances: 1},
+	}
+	cells, err := spec.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("expanded %d cells, want 2", len(cells))
+	}
+	keys := map[string]bool{}
+	for _, c := range cells {
+		k, err := c.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[string(k)] = true
+	}
+	if len(keys) != 2 {
+		t.Fatalf("engine cells share keys: %d distinct of 2", len(keys))
+	}
+}
+
 // TestBackendAxisValidation: an experiment that does not declare a backend
 // must be rejected at expansion time, not during the sweep.
 func TestBackendAxisValidation(t *testing.T) {
 	spec := Spec{
-		IDs:  []string{"fig8"},
+		IDs:  []string{"fig5"},
 		Grid: Grid{Backends: []string{"heavyhex29"}},
 	}
 	if _, err := spec.Cells(); err == nil {
-		t.Fatal("fig8 with a backend axis must fail to expand")
+		t.Fatal("fig5 with a backend axis must fail to expand")
 	}
-	cell := Cell{ID: "fig8", Opts: experiments.Options{Backend: "heavyhex29"}}
+	cell := Cell{ID: "fig5", Opts: experiments.Options{Backend: "heavyhex29"}}
 	if _, err := cell.Key(); err == nil {
 		t.Fatal("key for an unsupported backend must error")
+	}
+	bad := Spec{IDs: []string{"fig5"}, Grid: Grid{Engines: []string{"warp"}}}
+	if _, err := bad.Cells(); err == nil {
+		t.Fatal("unknown engine axis must fail to expand")
+	}
+	undeclared := Spec{IDs: []string{"fig5"}, Grid: Grid{Engines: []string{"stab"}}}
+	if _, err := undeclared.Cells(); err == nil {
+		t.Fatal("engine axis over a non-engine-aware experiment must fail to expand")
+	}
+	ecell := Cell{ID: "fig5", Opts: experiments.Options{Engine: "warp"}}
+	if _, err := ecell.Key(); err == nil {
+		t.Fatal("key for an unknown engine must error")
+	}
+	ucell := Cell{ID: "fig5", Opts: experiments.Options{Engine: "stab"}}
+	if _, err := ucell.Key(); err == nil {
+		t.Fatal("key for an undeclared engine must error")
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"runtime"
 	"sync"
 
+	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/store"
 )
@@ -28,7 +29,12 @@ import (
 //
 // Rev 2: the backend axis joined the descriptor (and Spec declarations
 // gained Backends), so every pre-backend checkpoint is retired.
-const descriptorRev = 2
+//
+// Rev 3: the engine axis joined the descriptor — a figure computed by the
+// stabilizer engine is a different artifact from the statevector one, so
+// pre-engine checkpoints are retired rather than ever being served for an
+// engine-qualified request.
+const descriptorRev = 3
 
 // Compute regenerates one figure from scratch. The default is
 // experiments.Run; tests substitute counting or failing stand-ins.
@@ -57,6 +63,7 @@ type descriptor struct {
 	MaxDepth   int                `json:"max_depth"`
 	Fast       bool               `json:"fast"`
 	Backend    string             `json:"backend"`
+	Engine     string             `json:"engine"`
 }
 
 // Key returns the cell's content address: the fingerprint of the
@@ -78,6 +85,19 @@ func (c Cell) Key() (store.Key, error) {
 		return "", fmt.Errorf("sweep: %s does not support backend %q (declared: %v)",
 			c.ID, c.Opts.Backend, sp.Backends)
 	}
+	if !exec.ValidEngine(c.Opts.Engine) {
+		return "", fmt.Errorf("sweep: unknown engine %q (known: %v)", c.Opts.Engine, exec.EngineNames())
+	}
+	if !sp.SupportsEngine(c.Opts.Engine) {
+		return "", fmt.Errorf("sweep: %s does not honor engine %q (declared: %v)",
+			c.ID, c.Opts.Engine, sp.Engines)
+	}
+	// "" and "statevector" are the same configuration; normalize so the
+	// two spellings share one cache artifact instead of double-computing.
+	engine := c.Opts.Engine
+	if engine == exec.EngineStatevector {
+		engine = ""
+	}
 	return store.Fingerprint(descriptor{
 		Rev:        descriptorRev,
 		ID:         sp.ID,
@@ -91,6 +111,7 @@ func (c Cell) Key() (store.Key, error) {
 		MaxDepth:   maxDepth,
 		Fast:       c.Opts.Fast,
 		Backend:    c.Opts.Backend,
+		Engine:     engine,
 	})
 }
 
@@ -203,6 +224,10 @@ type Grid struct {
 	// must declare each backend in its Spec.Backends ("" = the default
 	// device, always allowed).
 	Backends []string `json:"backends,omitempty"`
+	// Engines sweeps the simulation-engine axis ("statevector", "stab",
+	// "auto"; "" = statevector). A statevector-vs-stab sweep of one figure
+	// is the service-level differential test.
+	Engines []string `json:"engines,omitempty"`
 }
 
 // Spec is a sweep request: which experiments, over which option grid,
@@ -222,8 +247,8 @@ type Spec struct {
 }
 
 // Cells expands the spec into the cartesian product id × seed × shots ×
-// instances × max-depth, in deterministic order (ids outermost, then the
-// grid axes in declaration order).
+// instances × max-depth × backend × engine, in deterministic order (ids
+// outermost, then the grid axes in declaration order).
 func (s Spec) Cells() ([]Cell, error) {
 	ids := s.IDs
 	if len(ids) == 0 {
@@ -262,21 +287,39 @@ func (s Spec) Cells() ([]Cell, error) {
 			}
 		}
 	}
-	cells := make([]Cell, 0, len(ids)*len(seeds)*len(shots)*len(instances)*len(maxDepths)*len(backends))
+	engines := s.Grid.Engines
+	if len(engines) == 0 {
+		engines = []string{s.Base.Engine}
+	}
+	for _, e := range engines {
+		if !exec.ValidEngine(e) {
+			return nil, fmt.Errorf("sweep: unknown engine %q (known: %v)", e, exec.EngineNames())
+		}
+		for _, id := range ids {
+			sp, _ := experiments.Lookup(id)
+			if !sp.SupportsEngine(e) {
+				return nil, fmt.Errorf("sweep: %s does not honor engine %q (declared: %v)", id, e, sp.Engines)
+			}
+		}
+	}
+	cells := make([]Cell, 0, len(ids)*len(seeds)*len(shots)*len(instances)*len(maxDepths)*len(backends)*len(engines))
 	for _, id := range ids {
 		for _, seed := range seeds {
 			for _, sh := range shots {
 				for _, inst := range instances {
 					for _, md := range maxDepths {
 						for _, b := range backends {
-							opts := s.Base
-							opts.Seed = seed
-							opts.Shots = sh
-							opts.Instances = inst
-							opts.MaxDepth = md
-							opts.Backend = b
-							opts.Fast = s.Fast || s.Base.Fast
-							cells = append(cells, Cell{ID: id, Opts: opts})
+							for _, eng := range engines {
+								opts := s.Base
+								opts.Seed = seed
+								opts.Shots = sh
+								opts.Instances = inst
+								opts.MaxDepth = md
+								opts.Backend = b
+								opts.Engine = eng
+								opts.Fast = s.Fast || s.Base.Fast
+								cells = append(cells, Cell{ID: id, Opts: opts})
+							}
 						}
 					}
 				}

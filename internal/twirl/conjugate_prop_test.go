@@ -1,0 +1,103 @@
+// Property test cross-checking the two independent Pauli-conjugation
+// implementations: twirl.PropagateThroughLayer (per-gate Pair lookups on a
+// pauli.String) against stab.ConjugateLayer (the stabilizer engine's
+// bit-packed row conjugation). On randomized Clifford layers and random
+// Pauli strings the two must agree exactly, sign included.
+package twirl_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"casq/internal/circuit"
+	"casq/internal/gates"
+	"casq/internal/pauli"
+	"casq/internal/stab"
+	"casq/internal/twirl"
+)
+
+// randomCliffordLayer builds a two-qubit layer of random ECR/CX/SWAP gates
+// on random disjoint pairs of n qubits.
+func randomCliffordLayer(n int, rng *rand.Rand) *circuit.Layer {
+	l := &circuit.Layer{Kind: circuit.TwoQubitLayer}
+	perm := rng.Perm(n)
+	kinds := []gates.Kind{gates.ECR, gates.CX, gates.SWAP}
+	pairs := rng.Intn(n/2) + 1
+	for i := 0; i < pairs; i++ {
+		g := kinds[rng.Intn(len(kinds))]
+		l.Add(circuit.Instruction{Gate: g, Qubits: []int{perm[2*i], perm[2*i+1]}})
+	}
+	return l
+}
+
+func randomPauliString(n int, rng *rand.Rand) pauli.String {
+	s := pauli.NewString(n)
+	for q := 0; q < n; q++ {
+		s.Ops[q] = pauli.Pauli(rng.Intn(4))
+	}
+	if rng.Intn(2) == 1 {
+		s.Phase = 2
+	}
+	return s
+}
+
+func TestPropagateMatchesTableauConjugation(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + rng.Intn(8)
+		l := randomCliffordLayer(n, rng)
+		s := randomPauliString(n, rng)
+
+		want, err := twirl.PropagateThroughLayer(l, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := stab.ConjugateLayer(l, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Ops) != len(want.Ops) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for q := range want.Ops {
+			if got.Ops[q] != want.Ops[q] {
+				t.Fatalf("trial %d (n=%d, layer %v):\n  in   %v\n  want %v\n  got  %v",
+					trial, n, l.Instrs, s, want, got)
+			}
+		}
+		if ((got.Phase%4)+4)%4 != ((want.Phase%4)+4)%4 {
+			t.Fatalf("trial %d: phase mismatch: want i^%d, got i^%d (in %v -> %v)",
+				trial, want.Phase, got.Phase, s, want)
+		}
+	}
+}
+
+// TestPropagateDepthComposition checks that conjugating through d repeated
+// layers with either implementation stays in lockstep — the exact access
+// pattern the layer-fidelity protocol uses.
+func TestPropagateDepthComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 50; trial++ {
+		n := 6
+		l := randomCliffordLayer(n, rng)
+		a := randomPauliString(n, rng)
+		b := pauli.String{Ops: append([]pauli.Pauli(nil), a.Ops...), Phase: a.Phase}
+		for d := 0; d < 5; d++ {
+			var err error
+			if a, err = twirl.PropagateThroughLayer(l, a); err != nil {
+				t.Fatal(err)
+			}
+			if b, err = stab.ConjugateLayer(l, b); err != nil {
+				t.Fatal(err)
+			}
+			for q := range a.Ops {
+				if a.Ops[q] != b.Ops[q] {
+					t.Fatalf("trial %d depth %d: divergence at qubit %d", trial, d, q)
+				}
+			}
+			if ((a.Phase%4)+4)%4 != ((b.Phase%4)+4)%4 {
+				t.Fatalf("trial %d depth %d: phase divergence", trial, d)
+			}
+		}
+	}
+}
