@@ -4,6 +4,7 @@ package casq
 
 import (
 	"math/rand"
+	"net/http"
 
 	"casq/internal/caec"
 	"casq/internal/circuit"
@@ -12,6 +13,7 @@ import (
 	"casq/internal/device"
 	"casq/internal/exec"
 	"casq/internal/experiments"
+	"casq/internal/fabric"
 	"casq/internal/layout"
 	"casq/internal/pass"
 	"casq/internal/sched"
@@ -132,6 +134,32 @@ type (
 	ExperimentAxis = experiments.Axis
 	// Server answers catalog, figure, and sweep requests over HTTP.
 	Server = serve.Server
+	// ServerConfig assembles a hardened Server: rate limiting, bounded
+	// sweep admission, history TTL, drain timeout, and an optional fabric
+	// coordinator.
+	ServerConfig = serve.Config
+)
+
+// Distributed sweep fabric: the coordinator/worker job queue that shards
+// a sweep across processes and machines through the shared store.
+type (
+	// StoreBackend is the persistence tier behind the store's LRU: disk,
+	// in-memory, or a remote store over HTTP.
+	StoreBackend = store.Backend
+	// FabricCoordinator owns the distributed job queue: cells are leased
+	// to workers, expired leases requeue, results aggregate into
+	// SweepProgress.
+	FabricCoordinator = fabric.Coordinator
+	// FabricOptions configure a coordinator (lease TTL).
+	FabricOptions = fabric.Options
+	// FabricWorker claims cells from a coordinator, computes them through
+	// the shared store, and reports completion under a heartbeat.
+	FabricWorker = fabric.Worker
+	// FabricSweep is one distributed sweep: the fabric-side counterpart
+	// of SweepRun with the same progress surface.
+	FabricSweep = fabric.Sweep
+	// FabricStats snapshots the coordinator's queue and fleet counters.
+	FabricStats = fabric.Stats
 )
 
 // Compatibility types for the pre-redesign compiler API.
@@ -391,6 +419,45 @@ func OpenResultStore(dir string, memCapacity int) (*ResultStore, error) {
 	return store.Open(dir, memCapacity)
 }
 
+// OpenResultStoreWith opens the result cache over an explicit backend
+// (nil = memory-only): NewDiskBackend, NewMemBackend, or
+// NewHTTPStoreBackend.
+func OpenResultStoreWith(b StoreBackend, memCapacity int) *ResultStore {
+	return store.OpenWith(b, memCapacity)
+}
+
+// NewDiskBackend returns the JSON-file store backend rooted at dir
+// (atomic temp+rename writes).
+func NewDiskBackend(dir string) (StoreBackend, error) { return store.NewDisk(dir) }
+
+// NewMemBackend returns an unbounded in-memory store backend.
+func NewMemBackend() StoreBackend { return store.NewMem() }
+
+// NewHTTPStoreBackend returns a backend reading and writing a remote
+// store served by StoreHandler at base (nil client = DefaultClient) —
+// how fabric workers share their coordinator's store.
+func NewHTTPStoreBackend(base string, client *http.Client) StoreBackend {
+	return store.NewHTTP(base, client)
+}
+
+// StoreHandler serves a store over HTTP (GET/PUT /store/{key}) for
+// NewHTTPStoreBackend peers.
+func StoreHandler(st *ResultStore) http.Handler { return store.Handler(st) }
+
+// NewFabricCoordinator returns a coordinator scheduling sweep cells
+// against the shared store; mount its Handler (or attach it to a Server
+// via ServerConfig.Coordinator) and point FabricWorkers at it.
+func NewFabricCoordinator(st *ResultStore, opts FabricOptions) *FabricCoordinator {
+	return fabric.NewCoordinator(st, opts)
+}
+
+// NewFabricWorker returns a worker computing against the coordinator at
+// base, sharing its store through the remote HTTP backend with a local
+// LRU tier of memCapacity entries.
+func NewFabricWorker(base string, memCapacity int) *FabricWorker {
+	return fabric.NewWorker(base, memCapacity)
+}
+
 // Fingerprint computes the canonical content address of a request
 // descriptor; it is invariant under struct field reordering.
 func Fingerprint(v any) (StoreKey, error) { return store.Fingerprint(v) }
@@ -410,6 +477,11 @@ func NewSweepRunner(cache *FigureCache, workers int) *SweepRunner {
 func NewServer(cache *FigureCache, sweepWorkers int) *Server {
 	return serve.New(cache, sweepWorkers)
 }
+
+// NewServerWith returns the experiment service assembled from an explicit
+// ServerConfig — rate limiting, bounded admission, graceful drain, and
+// (optionally) a fabric coordinator so sweeps shard across workers.
+func NewServerWith(cfg ServerConfig) *Server { return serve.NewWith(cfg) }
 
 // DefaultExperimentOptions is the full-quality configuration.
 func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOptions() }

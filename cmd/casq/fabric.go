@@ -1,0 +1,109 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"casq/internal/experiments"
+	"casq/internal/fabric"
+	"casq/internal/serve"
+	"casq/internal/store"
+	"casq/internal/sweep"
+)
+
+// fabricMain runs the `casq fabric` subcommand family: a coordinator
+// that owns the sweep job queue and shared store, and workers that claim
+// cells from it over HTTP.
+func fabricMain(args []string) {
+	usage := func() {
+		fmt.Fprintf(os.Stderr, `usage: casq fabric coordinator [flags]   run the job queue + experiment API
+       casq fabric worker      [flags]   claim and compute cells
+
+A coordinator is a full 'casq serve' (figures, sweeps, SSE, healthz)
+whose sweeps are sharded across every connected worker instead of run
+in-process. Workers share the coordinator's content-addressed store, so
+results are bit-identical to a single-process run and a worker crash
+costs at most its one in-flight cell.
+`)
+		os.Exit(2)
+	}
+	if len(args) == 0 {
+		usage()
+	}
+	switch args[0] {
+	case "coordinator":
+		coordinatorMain(args[1:])
+	case "worker":
+		workerMain(args[1:])
+	default:
+		usage()
+	}
+}
+
+// coordinatorMain runs `casq fabric coordinator`: the serve API with a
+// fabric.Coordinator attached, so POST /sweeps feeds the worker fleet.
+func coordinatorMain(args []string) {
+	fs := flag.NewFlagSet("casq fabric coordinator", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8823", "listen address")
+		dir      = fs.String("store", "casq-store", "result store directory (empty = memory-only)")
+		mem      = fs.Int("mem", store.DefaultMemCapacity, "in-memory cache capacity (entries)")
+		leaseTTL = fs.Duration("lease-ttl", fabric.DefaultLeaseTTL, "cell lease lifetime; a worker silent this long is presumed dead")
+	)
+	harden := hardeningFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	st, err := store.Open(*dir, *mem)
+	if err != nil {
+		log.Fatal(err)
+	}
+	coord := fabric.NewCoordinator(st, fabric.Options{LeaseTTL: *leaseTTL})
+	defer coord.Close()
+	cfg := serve.Config{Cache: sweep.NewCache(st), Coordinator: coord}
+	harden(&cfg)
+	srv := serve.NewWith(cfg)
+	defer srv.Close()
+	where := *dir
+	if where == "" {
+		where = "(memory only)"
+	}
+	log.Printf("casq fabric coordinator: listening on %s, store %s, lease TTL %s, %d experiments",
+		*addr, where, *leaseTTL, len(experiments.IDs()))
+	if err := listenGraceful(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// workerMain runs `casq fabric worker`: claim cells from a coordinator,
+// compute them, write results through the shared store, repeat.
+func workerMain(args []string) {
+	fs := flag.NewFlagSet("casq fabric worker", flag.ExitOnError)
+	var (
+		base  = fs.String("coordinator", "http://127.0.0.1:8823", "coordinator base URL")
+		slots = fs.Int("slots", 1, "cells computed concurrently")
+		mem   = fs.Int("mem", store.DefaultMemCapacity, "local in-memory cache capacity (entries)")
+		poll  = fs.Duration("poll", fabric.DefaultPoll, "idle claim-poll interval")
+		id    = fs.String("id", "", "worker id in coordinator stats (default: hostname-pid)")
+	)
+	if err := fs.Parse(args); err != nil {
+		os.Exit(2)
+	}
+	w := fabric.NewWorker(*base, *mem)
+	w.ID = *id
+	w.Slots = *slots
+	w.Poll = *poll
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("casq fabric worker: coordinator %s, %d slot(s), poll %s", *base, *slots, *poll)
+	if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Fatal(err)
+	}
+	log.Printf("casq fabric worker: stopped")
+}

@@ -12,6 +12,8 @@
 //	casq -spec fig8 -backend eagle127 -engine stab [-full]
 //	casq -list
 //	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
+//	casq fabric coordinator [-addr host:port] [-store dir] [-lease-ttl D]
+//	casq fabric worker [-coordinator url] [-slots N]
 //
 // The -passes flag composes an arbitrary comma-separated pipeline
 // (orderings the named strategies cannot express, e.g. CA-EC before DD,
@@ -32,7 +34,11 @@
 // `casq serve` answers GET /figures/{id} from the store — the first
 // request computes and checkpoints the figure, repeats stream the same
 // bytes back — and runs POST /sweeps grids in the background with
-// checkpoint/resume. See `casq serve -h` for the endpoint list.
+// checkpoint/resume. See `casq serve -h` for the endpoint list,
+// including the rate-limit and graceful-drain hardening flags. To shard
+// sweeps across machines, `casq fabric coordinator` serves the same API
+// backed by a lease-based job queue, and `casq fabric worker` processes
+// claim and compute its cells through the shared store.
 package main
 
 import (
@@ -170,6 +176,10 @@ func runSpec(id, backend, engine string, full bool, seed int64, seedSet bool) {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "serve" {
 		serveMain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fabric" {
+		fabricMain(os.Args[2:])
 		return
 	}
 	var (

@@ -1,17 +1,66 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"casq/internal/experiments"
 	"casq/internal/serve"
 	"casq/internal/store"
 	"casq/internal/sweep"
 )
+
+// hardeningFlags registers the serve-layer protection knobs shared by
+// `casq serve` and `casq fabric coordinator`, returning a closure that
+// folds them into the Config after parsing.
+func hardeningFlags(fs *flag.FlagSet) func(*serve.Config) {
+	var (
+		rps    = fs.Float64("figure-rps", 0, "token-bucket rate limit on /figures (requests/s, 0 = unlimited)")
+		burst  = fs.Int("figure-burst", 0, "rate-limit burst depth (0 = 2x rate)")
+		maxSw  = fs.Int("max-sweeps", 0, "max concurrently active sweeps, beyond = 429 (0 = default, <0 = unlimited)")
+		ttl    = fs.Duration("history-ttl", 0, "how long finished sweeps stay queryable past the history cap (0 = default)")
+		drainT = fs.Duration("drain", 0, "shutdown wait for in-flight sweeps (0 = default, <0 = none)")
+	)
+	return func(cfg *serve.Config) {
+		cfg.FigureRPS = *rps
+		cfg.FigureBurst = *burst
+		cfg.MaxActiveSweeps = *maxSw
+		cfg.HistoryTTL = *ttl
+		cfg.DrainTimeout = *drainT
+	}
+}
+
+// listenGraceful serves srv on addr until SIGINT/SIGTERM, then drains:
+// srv.Close refuses new sweeps and waits for in-flight ones, after which
+// open connections get a bounded Shutdown window.
+func listenGraceful(addr string, srv *serve.Server) error {
+	hs := &http.Server{Addr: addr, Handler: srv.Handler()}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case s := <-sig:
+		log.Printf("casq: %v: draining", s)
+		srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		return nil
+	}
+}
 
 // serveMain runs the `casq serve` subcommand: an HTTP service answering
 // figure requests from the content-addressed result store and scheduling
@@ -24,20 +73,26 @@ func serveMain(args []string) {
 		mem     = fs.Int("mem", store.DefaultMemCapacity, "in-memory cache capacity (entries)")
 		workers = fs.Int("sweep-workers", 0, "concurrent sweep cells (0 = GOMAXPROCS)")
 	)
+	harden := hardeningFlags(fs)
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]\n\n")
+		fmt.Fprintf(fs.Output(), "usage: casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]\n"+
+			"                  [-figure-rps R] [-figure-burst N] [-max-sweeps N] [-history-ttl D] [-drain D]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(fs.Output(), `
 endpoints:
-  GET  /experiments   experiment catalog with declared parameter axes
-  GET  /backends      named device registry (sizes, topology families)
-  GET  /figures/{id}  one figure (query: seed, shots, instances, maxdepth, fast, backend)
-  POST /sweeps        submit a sweep spec; returns its id
-  GET  /sweeps/{id}   sweep progress
-  GET  /healthz       liveness + cache counters
+  GET  /experiments        experiment catalog with declared parameter axes
+  GET  /backends           named device registry (sizes, topology families)
+  GET  /figures/{id}       one figure (query: seed, shots, instances, maxdepth, fast, backend, engine)
+  POST /sweeps             submit a sweep spec; returns its id
+  GET  /sweeps             all retained sweeps with progress
+  GET  /sweeps/{id}        sweep progress
+  GET  /sweeps/{id}/events SSE progress stream
+  GET  /healthz            liveness + store/request/fleet counters
 
 The first request for a figure computes and checkpoints it; repeats are
-served from the store bit-identically (X-Casq-Cache: hit).
+served from the store bit-identically (X-Casq-Cache: hit). To shard
+sweeps across machines, run 'casq fabric coordinator' instead and point
+'casq fabric worker' processes at it.
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -47,12 +102,16 @@ served from the store bit-identically (X-Casq-Cache: hit).
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := serve.New(sweep.NewCache(st), *workers)
+	cfg := serve.Config{Cache: sweep.NewCache(st), SweepWorkers: *workers}
+	harden(&cfg)
+	srv := serve.NewWith(cfg)
 	defer srv.Close()
 	where := *dir
 	if where == "" {
 		where = "(memory only)"
 	}
 	log.Printf("casq serve: listening on %s, store %s, %d experiments", *addr, where, len(experiments.IDs()))
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := listenGraceful(*addr, srv); err != nil {
+		log.Fatal(err)
+	}
 }

@@ -3,84 +3,263 @@
 // through the sweep.Cache, so the first request for a configuration
 // computes and checkpoints it and every later request streams the
 // checkpointed JSON bytes back unchanged; sweep submissions run
-// asynchronously on the sweep.Runner and report live progress.
+// asynchronously — in-process on the sweep.Runner, or sharded across a
+// worker fleet when a fabric.Coordinator is attached — and report live
+// progress, including a Server-Sent-Events stream per sweep.
+//
+// The server is hardened for heavy traffic: figure endpoints sit behind a
+// token-bucket rate limiter (429 + Retry-After under overload), sweep
+// admission is bounded so a submission flood cannot pile up unbounded
+// background work, and Close drains in-flight sweeps — returning 503 for
+// new submissions — instead of dropping work.
 //
 // Routes:
 //
-//	GET  /experiments   catalog of declarative experiment Specs
-//	GET  /backends      the named device registry (sizes, families)
-//	GET  /figures/{id}  one figure; options via query parameters
-//	                    (seed, shots, instances, maxdepth, fast, backend,
-//	                    engine); X-Casq-Cache reports hit or miss
-//	POST /sweeps        submit a sweep.Spec as JSON; returns 202 + id
-//	GET  /sweeps/{id}   progress of a submitted sweep
-//	GET  /healthz       liveness plus store cache counters
+//	GET  /experiments        catalog of declarative experiment Specs
+//	GET  /backends           the named device registry (sizes, families)
+//	GET  /figures/{id}       one figure; options via query parameters
+//	                         (seed, shots, instances, maxdepth, fast,
+//	                         backend, engine); X-Casq-Cache hit or miss
+//	POST /sweeps             submit a sweep.Spec as JSON; returns 202 + id
+//	GET  /sweeps             all retained sweeps with their progress
+//	GET  /sweeps/{id}        progress of a submitted sweep
+//	GET  /sweeps/{id}/events SSE stream of progress snapshots
+//	GET  /healthz            liveness, store counters, request counters,
+//	                         and fabric fleet stats when attached
+//	POST /fabric/claim       (coordinator mode) worker cell claim
+//	POST /fabric/heartbeat   (coordinator mode) lease keep-alive
+//	POST /fabric/complete    (coordinator mode) cell completion
+//	GET/PUT /store/{key}     (coordinator mode) the shared result store
 //
-// The `casq serve` subcommand wires this handler to a listening socket.
+// The `casq serve` and `casq fabric coordinator` subcommands wire this
+// handler to a listening socket.
 package serve
 
 import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
+	"sort"
 	"strconv"
 	"sync"
+	"time"
 
 	"casq/internal/device"
 	"casq/internal/exec"
 	"casq/internal/experiments"
+	"casq/internal/fabric"
 	"casq/internal/sweep"
 )
 
+// Defaults for Config fields left zero.
+const (
+	// DefaultMaxActiveSweeps bounds concurrently unfinished sweeps.
+	DefaultMaxActiveSweeps = 32
+	// DefaultHistoryTTL keeps finished sweeps queryable after the history
+	// cap is reached.
+	DefaultHistoryTTL = 2 * time.Minute
+	// DefaultDrainTimeout bounds how long Close waits for in-flight
+	// sweeps before giving up and cancelling them.
+	DefaultDrainTimeout = 30 * time.Second
+)
+
+// maxSweepHistory bounds retained sweep runs: beyond it, the oldest
+// finished runs older than the history TTL are forgotten (their results
+// stay checkpointed in the store — only the progress handle goes away).
+// Running sweeps are never pruned; hardSweepHistory is the flood
+// backstop past which the TTL no longer protects finished runs.
+const (
+	maxSweepHistory  = 128
+	hardSweepHistory = 8 * maxSweepHistory
+)
+
+// Config assembles a Server. Zero fields take the documented defaults.
+type Config struct {
+	// Cache answers figure requests and computes sweep cells (required).
+	Cache *sweep.Cache
+	// SweepWorkers bounds in-process sweep concurrency (0 = GOMAXPROCS).
+	// Ignored when a Coordinator is attached.
+	SweepWorkers int
+	// Coordinator, when non-nil, runs sweeps on the distributed fabric
+	// instead of in-process, and mounts the worker + shared-store
+	// endpoints on this server.
+	Coordinator *fabric.Coordinator
+	// FigureRPS rate-limits /figures/{id} with a token bucket refilled at
+	// this rate (0 = unlimited).
+	FigureRPS float64
+	// FigureBurst is the bucket depth (0 = 2×FigureRPS, min 1).
+	FigureBurst int
+	// MaxActiveSweeps bounds concurrently unfinished sweeps; submissions
+	// beyond it get 429 (0 = DefaultMaxActiveSweeps, <0 = unlimited).
+	MaxActiveSweeps int
+	// HistoryTTL keeps finished sweeps queryable for this long once the
+	// history cap is hit (0 = DefaultHistoryTTL, <0 = prune immediately).
+	HistoryTTL time.Duration
+	// DrainTimeout bounds Close's wait for in-flight sweeps
+	// (0 = DefaultDrainTimeout, <0 = do not wait).
+	DrainTimeout time.Duration
+}
+
+// runHandle abstracts a scheduled sweep; the in-process sweep.Run and
+// the fabric coordinator's distributed Sweep both satisfy it, which is
+// what lets every progress surface (status, list, SSE, drain) treat the
+// two identically.
+type runHandle interface {
+	Cells() []sweep.Cell
+	States() []sweep.CellState
+	Progress() sweep.Progress
+	Changed() <-chan struct{}
+	Done() <-chan struct{}
+}
+
+// sweepRecord tracks one retained sweep.
+type sweepRecord struct {
+	run        runHandle
+	submitted  time.Time
+	finishedAt time.Time // zero while running; set by the watcher
+}
+
 // Server serves the experiment catalog, cached figures, and sweeps. Use
-// New; the zero value is not usable.
+// New or NewWith; the zero value is not usable.
 type Server struct {
-	cache  *sweep.Cache
-	runner *sweep.Runner
+	cache    *sweep.Cache
+	runner   *sweep.Runner
+	coord    *fabric.Coordinator
+	limiter  *tokenBucket
+	maxRuns  int
+	ttl      time.Duration
+	drainFor time.Duration
 
 	ctx    context.Context // governs background sweeps
 	cancel context.CancelFunc
 
-	mu     sync.Mutex
-	sweeps map[string]*sweep.Run
-	order  []string // sweep ids in submission order, for history pruning
-	seq    int
-}
+	mu       sync.Mutex
+	sweeps   map[string]*sweepRecord
+	order    []string // sweep ids in submission order, for history pruning
+	seq      int
+	draining bool
+	requests map[string]uint64 // per-endpoint request counters
 
-// maxSweepHistory bounds retained sweep runs: beyond it, the oldest
-// finished runs are forgotten (their results stay checkpointed in the
-// store — only the progress handle goes away). Running sweeps are never
-// pruned.
-const maxSweepHistory = 128
+	closeOnce sync.Once
+}
 
 // New returns a server answering from the cache; sweepWorkers bounds the
 // concurrency of submitted sweeps (0 = GOMAXPROCS).
 func New(cache *sweep.Cache, sweepWorkers int) *Server {
+	return NewWith(Config{Cache: cache, SweepWorkers: sweepWorkers})
+}
+
+// NewWith returns a server assembled from an explicit Config.
+func NewWith(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
+	maxRuns := cfg.MaxActiveSweeps
+	switch {
+	case maxRuns == 0:
+		maxRuns = DefaultMaxActiveSweeps
+	case maxRuns < 0:
+		maxRuns = math.MaxInt
+	}
+	ttl := cfg.HistoryTTL
+	switch {
+	case ttl == 0:
+		ttl = DefaultHistoryTTL
+	case ttl < 0:
+		ttl = 0
+	}
+	drain := cfg.DrainTimeout
+	switch {
+	case drain == 0:
+		drain = DefaultDrainTimeout
+	case drain < 0:
+		drain = 0
+	}
+	var limiter *tokenBucket
+	if cfg.FigureRPS > 0 {
+		burst := cfg.FigureBurst
+		if burst <= 0 {
+			burst = int(2 * cfg.FigureRPS)
+			if burst < 1 {
+				burst = 1
+			}
+		}
+		limiter = newTokenBucket(cfg.FigureRPS, burst)
+	}
 	return &Server{
-		cache:  cache,
-		runner: &sweep.Runner{Cache: cache, Workers: sweepWorkers},
-		ctx:    ctx,
-		cancel: cancel,
-		sweeps: map[string]*sweep.Run{},
+		cache:    cfg.Cache,
+		runner:   &sweep.Runner{Cache: cfg.Cache, Workers: cfg.SweepWorkers},
+		coord:    cfg.Coordinator,
+		limiter:  limiter,
+		maxRuns:  maxRuns,
+		ttl:      ttl,
+		drainFor: drain,
+		ctx:      ctx,
+		cancel:   cancel,
+		sweeps:   map[string]*sweepRecord{},
+		requests: map[string]uint64{},
 	}
 }
 
-// Close stops claiming new sweep cells. In-flight cells finish and stay
-// checkpointed, so a later server over the same store resumes them.
-func (s *Server) Close() { s.cancel() }
+// Close drains the server: new sweep submissions are refused with 503
+// while in-flight sweeps run to completion (bounded by the configured
+// drain timeout), then background work is cancelled. Cells already
+// checkpointed stay in the store either way, so a later server over the
+// same store resumes whatever the drain window missed.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.refreshLocked(time.Now())
+		active := make([]runHandle, 0, len(s.sweeps))
+		for _, rec := range s.sweeps {
+			if rec.finishedAt.IsZero() {
+				active = append(active, rec.run)
+			}
+		}
+		s.mu.Unlock()
+
+		deadline := time.After(s.drainFor)
+		for _, run := range active {
+			select {
+			case <-run.Done():
+			case <-deadline:
+				s.cancel()
+				return
+			}
+		}
+		s.cancel()
+	})
+}
 
 // Handler returns the routed HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /experiments", s.handleExperiments)
-	mux.HandleFunc("GET /backends", s.handleBackends)
-	mux.HandleFunc("GET /figures/{id}", s.handleFigure)
-	mux.HandleFunc("POST /sweeps", s.handleSweepSubmit)
-	mux.HandleFunc("GET /sweeps/{id}", s.handleSweepStatus)
-	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /experiments", s.counted("experiments", s.handleExperiments))
+	mux.HandleFunc("GET /backends", s.counted("backends", s.handleBackends))
+	mux.HandleFunc("GET /figures/{id}", s.counted("figures", s.handleFigure))
+	mux.HandleFunc("POST /sweeps", s.counted("sweeps.submit", s.handleSweepSubmit))
+	mux.HandleFunc("GET /sweeps", s.counted("sweeps.list", s.handleSweepList))
+	mux.HandleFunc("GET /sweeps/{id}", s.counted("sweeps.status", s.handleSweepStatus))
+	mux.HandleFunc("GET /sweeps/{id}/events", s.counted("sweeps.events", s.handleSweepEvents))
+	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	if s.coord != nil {
+		ch := s.coord.Handler()
+		mux.Handle("/fabric/", ch)
+		mux.Handle("/store/", ch)
+	}
 	return mux
+}
+
+// counted wraps a handler with its per-endpoint request counter
+// (scraped from /healthz by loadgen and CI).
+func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.requests[name]++
+		s.mu.Unlock()
+		h(w, r)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -175,6 +354,13 @@ func boolParam(v string) (bool, error) {
 }
 
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if retryAfter, limited := s.limiter.take(time.Now()); limited {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retryAfter)))
+			writeError(w, http.StatusTooManyRequests, "figure rate limit exceeded; retry after %s", retryAfter.Round(time.Millisecond))
+			return
+		}
+	}
 	id := r.PathValue("id")
 	sp, ok := experiments.Lookup(id)
 	if !ok {
@@ -219,6 +405,7 @@ type sweepAccepted struct {
 	ID     string `json:"id"`
 	Total  int    `json:"total"`
 	Status string `json:"status"`
+	Events string `json:"events"`
 }
 
 func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
@@ -248,19 +435,54 @@ func (s *Server) handleSweepSubmit(w http.ResponseWriter, r *http.Request) {
 	if spec.Base.MaxDepth == 0 {
 		spec.Base.MaxDepth = def.MaxDepth
 	}
-	run, err := s.runner.Start(s.ctx, spec)
+
+	// Admission control: refuse rather than queue unbounded work, and
+	// refuse everything once draining so Close never strands a fresh run.
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "server draining; resubmit to its successor")
+		return
+	}
+	s.refreshLocked(time.Now())
+	active := 0
+	for _, rec := range s.sweeps {
+		if rec.finishedAt.IsZero() {
+			active++
+		}
+	}
+	if active >= s.maxRuns {
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "%d sweeps already active (max %d); retry later", active, s.maxRuns)
+		return
+	}
+	s.mu.Unlock()
+
+	var run runHandle
+	var err error
+	if s.coord != nil {
+		run, err = s.coord.Submit(spec)
+	} else {
+		run, err = s.runner.Start(s.ctx, spec)
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	rec := &sweepRecord{run: run, submitted: time.Now()}
 	s.mu.Lock()
 	s.seq++
 	id := fmt.Sprintf("sweep-%d", s.seq)
-	s.sweeps[id] = run
+	s.sweeps[id] = rec
 	s.order = append(s.order, id)
-	s.pruneLocked()
+	s.pruneLocked(time.Now())
 	s.mu.Unlock()
-	writeJSON(w, http.StatusAccepted, sweepAccepted{ID: id, Total: len(run.Cells()), Status: "/sweeps/" + id})
+	writeJSON(w, http.StatusAccepted, sweepAccepted{
+		ID: id, Total: len(run.Cells()),
+		Status: "/sweeps/" + id, Events: "/sweeps/" + id + "/events",
+	})
 }
 
 // sweepStatus is the GET /sweeps/{id} response body.
@@ -283,15 +505,21 @@ type sweepCellState struct {
 	State      sweep.CellState `json:"state"`
 }
 
+func (s *Server) lookupSweep(id string) (*sweepRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.sweeps[id]
+	return rec, ok
+}
+
 func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	run, ok := s.sweeps[id]
-	s.mu.Unlock()
+	rec, ok := s.lookupSweep(id)
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
 		return
 	}
+	run := rec.run
 	states := run.States()
 	cells := run.Cells()
 	body := sweepStatus{ID: id, Progress: run.Progress(), Cells: make([]sweepCellState, len(cells))}
@@ -303,17 +531,125 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// sweepSummary is one GET /sweeps list entry.
+type sweepSummary struct {
+	ID        string         `json:"id"`
+	Submitted time.Time      `json:"submitted"`
+	Progress  sweep.Progress `json:"progress"`
+}
+
+// handleSweepList returns every retained sweep in submission order — the
+// fleet-dashboard view.
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	ids := make([]string, len(s.order))
+	copy(ids, s.order)
+	recs := make([]*sweepRecord, len(ids))
+	for i, id := range ids {
+		recs[i] = s.sweeps[id]
+	}
+	s.mu.Unlock()
+	out := make([]sweepSummary, len(ids))
+	for i, id := range ids {
+		out[i] = sweepSummary{ID: id, Submitted: recs[i].submitted, Progress: recs[i].run.Progress()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSweepEvents streams progress snapshots as Server-Sent Events:
+// one `progress` event per state change (coalesced under load) with
+// monotonically non-decreasing counts, ending with the snapshot whose
+// finished field is true. Clients get push-based progress without
+// polling /sweeps/{id}.
+func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rec, ok := s.lookupSweep(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown sweep %q", id)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	run := rec.run
+	var last *sweep.Progress
+	seq := 0
+	for {
+		// Fetch the change channel before snapshotting: an update landing
+		// between snapshot and wait closes the fetched channel, so it
+		// cannot be missed.
+		changed := run.Changed()
+		p := run.Progress()
+		if last == nil || p != *last {
+			seq++
+			data, err := json.Marshal(p)
+			if err != nil {
+				return
+			}
+			fmt.Fprintf(w, "id: %d\nevent: progress\ndata: %s\n\n", seq, data)
+			flusher.Flush()
+			last = &p
+		}
+		if p.Finished {
+			return
+		}
+		select {
+		case <-changed:
+		case <-run.Done():
+		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			return
+		}
+	}
+}
+
+// refreshLocked stamps finish times for runs that completed since the
+// last look. finishedAt is "when the server noticed" — checked lazily
+// under the lock rather than by a per-sweep watcher goroutine, so
+// admission control, pruning, and drain always agree on which runs are
+// still active. Callers hold s.mu.
+func (s *Server) refreshLocked(now time.Time) {
+	for _, rec := range s.sweeps {
+		if rec.finishedAt.IsZero() {
+			select {
+			case <-rec.run.Done():
+				rec.finishedAt = now
+			default:
+			}
+		}
+	}
+}
+
 // pruneLocked drops the oldest finished runs beyond maxSweepHistory so a
-// long-lived server does not accumulate one Run per submission forever.
+// long-lived server does not accumulate one Run per submission forever —
+// but a finished run stays queryable for the history TTL (clients that
+// just submitted deserve to read the result of /sweeps/{id} they were
+// given), unless the hard cap is breached by a submission flood.
 // Callers hold s.mu.
-func (s *Server) pruneLocked() {
+func (s *Server) pruneLocked(now time.Time) {
 	if len(s.order) <= maxSweepHistory {
 		return
+	}
+	s.refreshLocked(now)
+	prunable := func(rec *sweepRecord) bool {
+		if rec.finishedAt.IsZero() {
+			return false // never prune a running sweep
+		}
+		return now.Sub(rec.finishedAt) >= s.ttl || len(s.order) > hardSweepHistory
 	}
 	kept := s.order[:0]
 	excess := len(s.order) - maxSweepHistory
 	for _, id := range s.order {
-		if excess > 0 && s.sweeps[id].Progress().Finished {
+		if excess > 0 && prunable(s.sweeps[id]) {
 			delete(s.sweeps, id)
 			excess--
 			continue
@@ -323,6 +659,101 @@ func (s *Server) pruneLocked() {
 	s.order = kept
 }
 
+// health is the GET /healthz response body.
+type health struct {
+	OK       bool              `json:"ok"`
+	Draining bool              `json:"draining"`
+	Store    interface{}       `json:"store"`
+	Requests map[string]uint64 `json:"requests"`
+	Sweeps   sweepCounts       `json:"sweeps"`
+	Fabric   *fabric.Stats     `json:"fabric,omitempty"`
+}
+
+type sweepCounts struct {
+	Active   int `json:"active"`
+	Retained int `json:"retained"`
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "store": s.cache.Store.Stats()})
+	s.mu.Lock()
+	reqs := make(map[string]uint64, len(s.requests))
+	for _, k := range sortedKeys(s.requests) {
+		reqs[k] = s.requests[k]
+	}
+	s.refreshLocked(time.Now())
+	active := 0
+	for _, rec := range s.sweeps {
+		if rec.finishedAt.IsZero() {
+			active++
+		}
+	}
+	body := health{
+		OK:       true,
+		Draining: s.draining,
+		Requests: reqs,
+		Sweeps:   sweepCounts{Active: active, Retained: len(s.sweeps)},
+	}
+	s.mu.Unlock()
+	body.Store = s.cache.Store.Stats()
+	if s.coord != nil {
+		st := s.coord.Stats()
+		body.Fabric = &st
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// retrySeconds rounds a wait up to whole seconds for the Retry-After
+// header (whose delta form is integral seconds; 0 would mean "now").
+func retrySeconds(d time.Duration) int {
+	secs := int(math.Ceil(d.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}
+
+// tokenBucket is a standard token-bucket rate limiter: capacity `burst`,
+// refilled continuously at `rate` tokens per second. take consumes one
+// token or reports how long until one accrues. It deliberately avoids
+// per-client state: the figure endpoints protect shared compute, so the
+// budget is global.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate float64, burst int) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: float64(burst), tokens: float64(burst)}
+}
+
+// take consumes one token if available; otherwise it reports the wait
+// until the next token accrues and limited = true.
+func (b *tokenBucket) take(now time.Time) (retryAfter time.Duration, limited bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, false
+	}
+	need := 1 - b.tokens
+	return time.Duration(need / b.rate * float64(time.Second)), true
 }

@@ -19,21 +19,28 @@ import (
 // newTestServer returns an httptest server over a memory store whose
 // compute path counts harness invocations.
 func newTestServer(t *testing.T, computes *atomic.Int32) *httptest.Server {
+	ts, _ := newTestServerWith(t, computes, Config{SweepWorkers: 2})
+	return ts
+}
+
+// newTestServerWith is newTestServer with an explicit Config (its Cache
+// field is filled in here).
+func newTestServerWith(t *testing.T, computes *atomic.Int32, cfg Config) (*httptest.Server, *Server) {
 	t.Helper()
 	st, err := store.Open("", 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	cache := &sweep.Cache{Store: st, Compute: func(id string, opts experiments.Options) (experiments.Figure, error) {
+	cfg.Cache = &sweep.Cache{Store: st, Compute: func(id string, opts experiments.Options) (experiments.Figure, error) {
 		if computes != nil {
 			computes.Add(1)
 		}
 		return experiments.Run(id, opts)
 	}}
-	srv := New(cache, 2)
+	srv := NewWith(cfg)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() { ts.Close(); srv.Close() })
-	return ts
+	return ts, srv
 }
 
 func get(t *testing.T, url string) (*http.Response, []byte) {
@@ -245,8 +252,11 @@ func TestFigureRejectsUnknownParam(t *testing.T) {
 
 // TestSweepHistoryBounded pins the history cap: old finished sweeps are
 // pruned once submissions exceed maxSweepHistory, newest stay reachable.
+// HistoryTTL < 0 prunes finished runs the moment the cap is hit (the TTL
+// grace period has its own test); the admission bound is lifted because
+// the test submits faster than runs are noticed finished.
 func TestSweepHistoryBounded(t *testing.T) {
-	ts := newTestServer(t, nil)
+	ts, _ := newTestServerWith(t, nil, Config{SweepWorkers: 2, HistoryTTL: -1, MaxActiveSweeps: -1})
 	spec := `{"ids":["fig5"],"fast":true,"base":{"Seed":11,"Shots":16,"Instances":2,"MaxDepth":2,"Fast":true}}`
 	submit := func() string {
 		resp, err := http.Post(ts.URL+"/sweeps", "application/json", strings.NewReader(spec))

@@ -1,0 +1,223 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+)
+
+// Backend is the persistence tier beneath the Store's in-memory LRU. The
+// disk tier that used to be hard-wired into Store is one implementation;
+// a memory backend serves tests and single-process fleets, and an HTTP
+// backend lets worker processes on other machines read and write one
+// shared store through its coordinator. Implementations must be safe for
+// concurrent use and atomic per key: a Load concurrent with a Store of
+// the same key sees either the old payload or the whole new one, never a
+// torn write.
+type Backend interface {
+	// Name identifies the backend kind for observability ("disk", "mem",
+	// "http"); it is surfaced through Stats and /healthz.
+	Name() string
+	// Load fetches the payload under k. The second return is false on a
+	// clean miss; err is reserved for I/O failures.
+	Load(k Key) ([]byte, bool, error)
+	// Store persists data under k. Storing the same key twice is allowed
+	// (content addressing makes the payloads identical).
+	Store(k Key, data []byte) error
+}
+
+// diskBackend persists one JSON file per key under a root directory,
+// written atomically via rename. This is the tier that survives restarts
+// and lets interrupted sweeps resume from their checkpoints.
+type diskBackend struct {
+	dir string
+}
+
+// NewDisk returns the JSON-on-disk backend rooted at dir, creating the
+// directory if needed.
+func NewDisk(dir string) (Backend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: open %s: %w", dir, err)
+	}
+	return &diskBackend{dir: dir}, nil
+}
+
+func (d *diskBackend) Name() string      { return "disk" }
+func (d *diskBackend) path(k Key) string { return filepath.Join(d.dir, string(k)+".json") }
+
+func (d *diskBackend) Load(k Key) ([]byte, bool, error) {
+	data, err := os.ReadFile(d.path(k))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (d *diskBackend) Store(k Key, data []byte) error {
+	tmp, err := os.CreateTemp(d.dir, "put-*.tmp")
+	if err != nil {
+		return err
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr == nil {
+		werr = cerr
+	}
+	if werr == nil {
+		werr = os.Rename(tmp.Name(), d.path(k))
+	}
+	if werr != nil {
+		os.Remove(tmp.Name())
+		return werr
+	}
+	return nil
+}
+
+// memBackend is an unbounded in-process map: the backend for tests and
+// for coordinators that want cross-restart durability handled elsewhere.
+// Unlike the Store's LRU tier it never evicts, so it behaves like a disk
+// tier without the filesystem.
+type memBackend struct {
+	mu sync.Mutex
+	m  map[Key][]byte
+}
+
+// NewMem returns an in-memory backend.
+func NewMem() Backend { return &memBackend{m: map[Key][]byte{}} }
+
+func (m *memBackend) Name() string { return "mem" }
+
+func (m *memBackend) Load(k Key) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	data, ok := m.m[k]
+	return data, ok, nil
+}
+
+func (m *memBackend) Store(k Key, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.m[k] = data
+	return nil
+}
+
+// maxHTTPPayload bounds one store entry on the wire (a full-quality
+// figure is tens of kilobytes; 64 MiB is generous headroom, not a quota).
+const maxHTTPPayload = 64 << 20
+
+// httpBackend speaks the wire protocol Handler serves: GET/PUT
+// <base>/store/{key}. It is how fabric workers on other machines share
+// the coordinator's content-addressed store.
+type httpBackend struct {
+	base   string
+	client *http.Client
+}
+
+// NewHTTP returns a remote backend against the store served at base
+// (e.g. "http://coordinator:8823" — the "/store/{key}" suffix is part of
+// the protocol). A nil client selects http.DefaultClient.
+func NewHTTP(base string, client *http.Client) Backend {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &httpBackend{base: strings.TrimRight(base, "/"), client: client}
+}
+
+func (h *httpBackend) Name() string     { return "http" }
+func (h *httpBackend) url(k Key) string { return h.base + "/store/" + string(k) }
+
+func (h *httpBackend) Load(k Key) ([]byte, bool, error) {
+	resp, err := h.client.Get(h.url(k))
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body)
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, false, fmt.Errorf("remote load: %s: %s", resp.Status, snippet)
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxHTTPPayload))
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func (h *httpBackend) Store(k Key, data []byte) error {
+	req, err := http.NewRequest(http.MethodPut, h.url(k), bytes.NewReader(data))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return fmt.Errorf("remote store: %s: %s", resp.Status, snippet)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// Handler exposes a Store over HTTP as the wire protocol NewHTTP speaks:
+//
+//	GET /store/{key}  payload bytes, 404 on a miss
+//	PUT /store/{key}  persist the body under key
+//
+// Keys are validated before they touch the store, so a malformed remote
+// key can never escape into the backend. The fabric coordinator mounts
+// this next to its job-queue endpoints.
+func Handler(s *Store) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		k := Key(r.PathValue("key"))
+		if !k.Valid() {
+			http.Error(w, "invalid store key", http.StatusBadRequest)
+			return
+		}
+		data, ok, err := s.Get(k)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if !ok {
+			http.Error(w, "not found", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	})
+	mux.HandleFunc("PUT /store/{key}", func(w http.ResponseWriter, r *http.Request) {
+		k := Key(r.PathValue("key"))
+		if !k.Valid() {
+			http.Error(w, "invalid store key", http.StatusBadRequest)
+			return
+		}
+		data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxHTTPPayload))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := s.Put(k, data); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	return mux
+}

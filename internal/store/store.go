@@ -1,23 +1,24 @@
 // Package store is the content-addressed result cache beneath the sweep
-// scheduler and the HTTP serving layer. A result is addressed by the
-// SHA-256 fingerprint of its canonical request descriptor (experiment id,
-// options, declared parameter space — see Fingerprint), so any two
-// requests for the same computation resolve to the same Key regardless of
-// who asks or how the descriptor struct is laid out.
+// scheduler, the HTTP serving layer, and the distributed sweep fabric. A
+// result is addressed by the SHA-256 fingerprint of its canonical request
+// descriptor (experiment id, options, declared parameter space — see
+// Fingerprint), so any two requests for the same computation resolve to
+// the same Key regardless of who asks or how the descriptor struct is
+// laid out.
 //
 // The store is two-tiered: a bounded in-memory LRU tier answers repeated
-// requests without touching the filesystem, and an optional JSON-on-disk
-// tier (one file per key, written atomically via rename) persists results
-// across processes so interrupted sweeps resume from their checkpoints.
-// Payloads are opaque bytes — callers decide the encoding — which is what
-// lets the serving layer return a cached figure bit-identically.
+// requests without touching anything slow, and a pluggable Backend behind
+// it persists results beyond the LRU — JSON files on disk (one per key,
+// written atomically via rename, surviving restarts), an unbounded
+// in-process map, or a remote store reached over HTTP so worker processes
+// on other machines share one coordinator's cache. Payloads are opaque
+// bytes — callers decide the encoding — which is what lets the serving
+// layer return a cached figure bit-identically from any tier.
 package store
 
 import (
 	"container/list"
 	"fmt"
-	"os"
-	"path/filepath"
 	"sync"
 )
 
@@ -25,18 +26,21 @@ import (
 // non-positive capacity.
 const DefaultMemCapacity = 256
 
-// Store is a two-tier (memory LRU + disk) content-addressed cache. It is
-// safe for concurrent use. The zero value is not usable; call Open.
+// Store is a two-tier (memory LRU + Backend) content-addressed cache. It
+// is safe for concurrent use. The zero value is not usable; call Open or
+// OpenWith.
 type Store struct {
-	mu     sync.Mutex
-	capMem int
-	dir    string     // "" = memory-only
-	order  *list.List // of Key; front = most recently used
-	mem    map[Key]*memEntry
+	mu      sync.Mutex
+	capMem  int
+	backend Backend    // nil = memory-only
+	order   *list.List // of Key; front = most recently used
+	mem     map[Key]*memEntry
 
-	// hits/misses/evictions are cumulative counters for observability
-	// (exposed by Stats; the serve layer reports them on /healthz).
-	hits, misses, evictions uint64
+	// hits/misses/evictions/puts are cumulative counters for
+	// observability (exposed by Stats; the serve layer reports them on
+	// /healthz). puts counts every accepted Put — the fabric's
+	// zero-duplicate-write guarantee is pinned against it.
+	hits, misses, evictions, puts uint64
 }
 
 type memEntry struct {
@@ -48,29 +52,36 @@ type memEntry struct {
 // makes the store memory-only; memCapacity <= 0 selects
 // DefaultMemCapacity entries for the LRU tier.
 func Open(dir string, memCapacity int) (*Store, error) {
+	if dir == "" {
+		return OpenWith(nil, memCapacity), nil
+	}
+	b, err := NewDisk(dir)
+	if err != nil {
+		return nil, err
+	}
+	return OpenWith(b, memCapacity), nil
+}
+
+// OpenWith returns a store over an explicit backend (nil = memory-only).
+// memCapacity <= 0 selects DefaultMemCapacity entries for the LRU tier.
+func OpenWith(b Backend, memCapacity int) *Store {
 	if memCapacity <= 0 {
 		memCapacity = DefaultMemCapacity
 	}
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return nil, fmt.Errorf("store: open %s: %w", dir, err)
-		}
-	}
 	return &Store{
-		capMem: memCapacity,
-		dir:    dir,
-		order:  list.New(),
-		mem:    map[Key]*memEntry{},
-	}, nil
+		capMem:  memCapacity,
+		backend: b,
+		order:   list.New(),
+		mem:     map[Key]*memEntry{},
+	}
 }
 
-// Dir returns the disk-tier root ("" when memory-only).
-func (s *Store) Dir() string { return s.dir }
-
-func (s *Store) path(k Key) string { return filepath.Join(s.dir, string(k)+".json") }
+// Backend returns the persistence tier behind the LRU (nil when
+// memory-only).
+func (s *Store) Backend() Backend { return s.backend }
 
 // Get returns the payload stored under k. A memory hit refreshes the
-// entry's LRU position; a disk hit promotes the entry into the memory
+// entry's LRU position; a backend hit promotes the entry into the memory
 // tier. The second return is false on a clean miss; err is reserved for
 // I/O failures. Callers must not mutate the returned slice.
 func (s *Store) Get(k Key) ([]byte, bool, error) {
@@ -84,17 +95,17 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 	}
 	s.mu.Unlock()
 
-	if s.dir == "" || !k.Valid() {
+	if s.backend == nil || !k.Valid() {
 		s.miss()
 		return nil, false, nil
 	}
-	data, err := os.ReadFile(s.path(k))
-	if os.IsNotExist(err) {
-		s.miss()
-		return nil, false, nil
-	}
+	data, ok, err := s.backend.Load(k)
 	if err != nil {
-		return nil, false, fmt.Errorf("store: read %s: %w", k, err)
+		return nil, false, fmt.Errorf("store: load %s: %w", k, err)
+	}
+	if !ok {
+		s.miss()
+		return nil, false, nil
 	}
 	s.mu.Lock()
 	s.insertLocked(k, data)
@@ -104,38 +115,26 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 }
 
 // Put stores the payload under k in the memory tier and, when the store
-// has a disk root, persists it as <dir>/<key>.json via an atomic
-// write-then-rename (a crash mid-write never leaves a torn entry behind).
+// has a backend, persists it there first (so a crash mid-Put never leaves
+// a memory-tier entry the backend does not hold).
 func (s *Store) Put(k Key, data []byte) error {
 	if !k.Valid() {
 		return fmt.Errorf("store: invalid key %q", k)
 	}
-	if s.dir != "" {
-		tmp, err := os.CreateTemp(s.dir, "put-*.tmp")
-		if err != nil {
+	if s.backend != nil {
+		if err := s.backend.Store(k, data); err != nil {
 			return fmt.Errorf("store: put %s: %w", k, err)
-		}
-		_, werr := tmp.Write(data)
-		cerr := tmp.Close()
-		if werr == nil {
-			werr = cerr
-		}
-		if werr == nil {
-			werr = os.Rename(tmp.Name(), s.path(k))
-		}
-		if werr != nil {
-			os.Remove(tmp.Name())
-			return fmt.Errorf("store: put %s: %w", k, werr)
 		}
 	}
 	s.mu.Lock()
 	s.insertLocked(k, data)
+	s.puts++
 	s.mu.Unlock()
 	return nil
 }
 
 // insertLocked adds or refreshes a memory-tier entry and evicts from the
-// LRU tail beyond capacity. Disk entries are never evicted.
+// LRU tail beyond capacity. Backend entries are never evicted.
 func (s *Store) insertLocked(k Key, data []byte) {
 	if e, ok := s.mem[k]; ok {
 		e.data = data
@@ -166,15 +165,22 @@ func (s *Store) Len() int {
 
 // Stats is a snapshot of the store's cumulative cache counters.
 type Stats struct {
+	Backend    string `json:"backend"` // "disk", "mem", "http", or "none"
 	MemEntries int    `json:"mem_entries"`
 	Hits       uint64 `json:"hits"`
 	Misses     uint64 `json:"misses"`
 	Evictions  uint64 `json:"evictions"`
+	Puts       uint64 `json:"puts"`
 }
 
 // Stats returns a consistent snapshot of the cache counters.
 func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Stats{MemEntries: s.order.Len(), Hits: s.hits, Misses: s.misses, Evictions: s.evictions}
+	name := "none"
+	if s.backend != nil {
+		name = s.backend.Name()
+	}
+	return Stats{Backend: name, MemEntries: s.order.Len(),
+		Hits: s.hits, Misses: s.misses, Evictions: s.evictions, Puts: s.puts}
 }

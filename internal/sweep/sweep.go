@@ -334,13 +334,16 @@ type CellState string
 
 const (
 	CellPending  CellState = "pending"
+	CellLeased   CellState = "leased"   // claimed by a fabric worker, not yet reported
 	CellCached   CellState = "cached"   // answered from the store
 	CellComputed CellState = "computed" // freshly computed and checkpointed
 	CellFailed   CellState = "failed"
 	CellSkipped  CellState = "skipped" // sweep interrupted before the cell ran
 )
 
-// Progress is a snapshot of a running or finished sweep.
+// Progress is a snapshot of a running or finished sweep. It is the shared
+// aggregation model for both in-process runs and the distributed fabric
+// (which additionally reports Leased cells).
 type Progress struct {
 	Total    int  `json:"total"`
 	Done     int  `json:"done"` // cached + computed
@@ -348,6 +351,7 @@ type Progress struct {
 	Computed int  `json:"computed"`
 	Failed   int  `json:"failed"`
 	Skipped  int  `json:"skipped"`
+	Leased   int  `json:"leased,omitempty"` // fabric cells out on a worker lease
 	Finished bool `json:"finished"`
 	// Err is the first failure message, if any.
 	Err string `json:"err,omitempty"`
@@ -359,7 +363,8 @@ type Run struct {
 
 	mu     sync.Mutex
 	states []CellState
-	first  string // first error message
+	first  string        // first error message
+	watch  chan struct{} // closed and replaced on every state change
 
 	done chan struct{}
 }
@@ -375,6 +380,23 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 func (r *Run) Wait() Progress {
 	<-r.done
 	return r.Progress()
+}
+
+// Changed returns a channel closed on the next state change (including
+// the final transition to finished). To watch a run without missing
+// updates, fetch the channel before snapshotting Progress, then wait on
+// it: any change after the snapshot closes the returned channel. This is
+// what the serve layer's SSE endpoint polls.
+func (r *Run) Changed() <-chan struct{} {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.watch
+}
+
+// notifyLocked wakes every Changed waiter. Callers hold r.mu.
+func (r *Run) notifyLocked() {
+	close(r.watch)
+	r.watch = make(chan struct{})
 }
 
 // Progress returns a consistent snapshot of the run.
@@ -418,6 +440,7 @@ func (r *Run) set(i int, st CellState, err error) {
 	if err != nil && r.first == "" {
 		r.first = err.Error()
 	}
+	r.notifyLocked()
 	r.mu.Unlock()
 }
 
@@ -447,6 +470,7 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 	run := &Run{
 		cells:  cells,
 		states: make([]CellState, len(cells)),
+		watch:  make(chan struct{}),
 		done:   make(chan struct{}),
 	}
 	for i := range run.states {
@@ -494,12 +518,17 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 		}()
 	}
 	go func() {
-		defer close(run.done)
 		for i := range cells {
 			indices <- i
 		}
 		close(indices)
 		wg.Wait()
+		// Close done before the final notification: a watcher woken by the
+		// last change must observe Progress().Finished == true.
+		run.mu.Lock()
+		close(run.done)
+		run.notifyLocked()
+		run.mu.Unlock()
 	}()
 	return run, nil
 }

@@ -1,0 +1,158 @@
+// Command loadgen load-tests a running casq server: it fires GET
+// requests at one endpoint from a fixed pool of concurrent clients and
+// reports throughput, the status breakdown (200 / 429-rate-limited /
+// other), and latency percentiles, then scrapes /healthz for the
+// server-side request counters. CI uses it to pin the serving
+// acceptance criterion — a warm cached figure sustains ≥1000 concurrent
+// clients — and to archive the latency distribution as a JSON artifact.
+//
+// Usage:
+//
+//	casq serve -store /tmp/store &
+//	go run ./tools/loadgen -url http://127.0.0.1:8823 \
+//	    -path '/figures/fig5?fast=1' -c 1000 -n 5000 [-json out.json]
+//
+// The first request warms the cache before the timed run, so loadgen
+// measures serving, not figure computation.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// report is the machine-readable summary (-json output).
+type report struct {
+	Path        string         `json:"path"`
+	Concurrency int            `json:"concurrency"`
+	Requests    int            `json:"requests"`
+	OK          int64          `json:"ok"`
+	RateLimited int64          `json:"rate_limited"`
+	Errors      int64          `json:"errors"`
+	Seconds     float64        `json:"seconds"`
+	RPS         float64        `json:"rps"`
+	LatencyMS   map[string]any `json:"latency_ms"`
+	Healthz     any            `json:"healthz,omitempty"`
+}
+
+func main() {
+	var (
+		base    = flag.String("url", "http://127.0.0.1:8823", "server base URL")
+		path    = flag.String("path", "/figures/fig5?fast=1", "request path (repeated for every request)")
+		conc    = flag.Int("c", 100, "concurrent clients")
+		total   = flag.Int("n", 1000, "total requests")
+		jsonOut = flag.String("json", "", "also write the report as JSON to this file")
+	)
+	flag.Parse()
+	if *conc < 1 || *total < 1 {
+		log.Fatal("loadgen: -c and -n must be positive")
+	}
+	if *conc > *total {
+		*conc = *total
+	}
+	url := *base + *path
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *conc,
+		MaxIdleConnsPerHost: *conc,
+	}}
+
+	// Warm the cache so the run measures serving, not the first compute.
+	if resp, err := client.Get(url); err != nil {
+		log.Fatalf("loadgen: warm-up request: %v", err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	var (
+		ok, limited, errs atomic.Int64
+		next              atomic.Int64
+		mu                sync.Mutex
+		latencies         = make([]time.Duration, 0, *total)
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < *conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]time.Duration, 0, *total / *conc + 1)
+			for next.Add(1) <= int64(*total) {
+				t0 := time.Now()
+				resp, err := client.Get(url)
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				local = append(local, time.Since(t0))
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					ok.Add(1)
+				case resp.StatusCode == http.StatusTooManyRequests:
+					limited.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		if len(latencies) == 0 {
+			return 0
+		}
+		idx := int(p / 100 * float64(len(latencies)-1))
+		return float64(latencies[idx]) / float64(time.Millisecond)
+	}
+	rep := report{
+		Path: *path, Concurrency: *conc, Requests: *total,
+		OK: ok.Load(), RateLimited: limited.Load(), Errors: errs.Load(),
+		Seconds: elapsed.Seconds(),
+		RPS:     float64(ok.Load()+limited.Load()) / elapsed.Seconds(),
+		LatencyMS: map[string]any{
+			"p50": pct(50), "p90": pct(90), "p99": pct(99), "max": pct(100),
+		},
+	}
+	if resp, err := client.Get(*base + "/healthz"); err == nil {
+		var h any
+		if json.NewDecoder(resp.Body).Decode(&h) == nil {
+			rep.Healthz = h
+		}
+		resp.Body.Close()
+	}
+
+	fmt.Printf("loadgen: %s  c=%d n=%d\n", *path, *conc, *total)
+	fmt.Printf("  %d ok, %d rate-limited, %d errors in %.2fs (%.0f req/s)\n",
+		rep.OK, rep.RateLimited, rep.Errors, rep.Seconds, rep.RPS)
+	fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+		rep.LatencyMS["p50"], rep.LatencyMS["p90"], rep.LatencyMS["p99"], rep.LatencyMS["max"])
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if rep.Errors > 0 {
+		os.Exit(1)
+	}
+}
