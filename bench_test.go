@@ -393,6 +393,51 @@ func BenchmarkStabilizer127Q(b *testing.B) {
 	}
 }
 
+// BenchmarkStabBatch127Q measures the bit-plane batched shot path on the
+// full 127-qubit workload at growing shot budgets (10^3, 10^4, 10^5),
+// reporting throughput as a shots/s metric — the series CI archives into
+// BENCH_stab.json so the batching speedup is tracked from one PR to the
+// next. The scalar sub-benchmark runs the retained per-shot reference
+// path on the same compiled circuit, so shots/s(batch)/shots/s(scalar) is
+// the batching speedup on this machine.
+func BenchmarkStabBatch127Q(b *testing.B) {
+	dev, c := stab127Workload(b)
+	rng := rand.New(rand.NewSource(3))
+	compiled, _, err := pass.Twirled().Apply(dev, rng, c)
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := make([]sim.ObsSpec, 0, 8)
+	for _, in := range c.Layers[1].TwoQubitGates()[:8] {
+		obs = append(obs, sim.ObsSpec{in.Qubits[0]: 'X'})
+	}
+	run := func(shots int, scalar bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			cfg := sim.DefaultConfig()
+			cfg.Shots = shots
+			cfg.Workers = 1
+			eng := stab.New(dev, cfg)
+			eng.Scalar = scalar
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				vals, err := eng.Expectations(compiled, obs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if math.IsNaN(vals[0]) {
+					b.Fatal("NaN expectation")
+				}
+			}
+			b.ReportMetric(float64(shots)*float64(b.N)/b.Elapsed().Seconds(), "shots/s")
+		}
+	}
+	b.Run("shots=1e3", run(1_000, false))
+	b.Run("shots=1e4", run(10_000, false))
+	b.Run("shots=1e5", run(100_000, false))
+	b.Run("scalar/shots=1e4", run(10_000, true))
+}
+
 // BenchmarkPauliChannelDerivation isolates the PTA compile stage: walking
 // the 127-qubit schedule, integrating every toggling-frame error angle,
 // and deriving the per-location Pauli channels plus the reference tableau

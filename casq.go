@@ -54,8 +54,13 @@ type (
 	// statevector Runner and the stabilizer/Pauli-frame engine.
 	SimEngine = sim.Engine
 	// StabEngine is the stabilizer/Pauli-frame engine: full-device twirled
-	// simulation in O(shots*gates*n) via the Pauli-twirling approximation.
+	// simulation via the Pauli-twirling approximation, batching 64 shots
+	// per word op through bit-plane frames (set Scalar for the retained
+	// per-shot reference path).
 	StabEngine = stab.Engine
+	// PackedBits is a bit-plane record of measured bits: 64 shots per
+	// word, the stabilizer engine's native outcome format.
+	PackedBits = sim.PackedBits
 	// Observable is a Pauli observable specification.
 	Observable = sim.ObsSpec
 	// ExperimentOptions control the paper-figure harnesses.

@@ -9,7 +9,7 @@
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -workload ising -backend heavyhex127 -strategy ca-dd
-//	casq -spec fig8 -backend eagle127 -engine stab [-full]
+//	casq -spec fig8 -backend eagle127 -engine stab [-full] [-shots N]
 //	casq -list
 //	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
 //	casq fabric coordinator [-addr host:port] [-store dir] [-lease-ttl D]
@@ -25,7 +25,9 @@
 // of the compile demo; with -backend and -engine it exercises the engine
 // axis — `casq -spec fig8 -backend eagle127 -engine stab` is the
 // full-127-qubit layer-fidelity run that only the stabilizer engine can
-// simulate. Run `casq -list` for the workload, strategy, pass, engine,
+// simulate, and -shots raises its per-point budget (the bit-plane engine
+// advances 64 shots per word op, so 10^5-shot full-device points cost tens
+// of milliseconds). Run `casq -list` for the workload, strategy, pass, engine,
 // and backend vocabularies (including which engines can run each backend
 // at full scale). Experiment-level parallelism lives in the
 // sibling experiments command (its -workers flag sets the unified worker
@@ -152,14 +154,21 @@ func sortedKeys[V any](m map[string]V) []string {
 // runSpec regenerates one paper experiment by id — the service-free way
 // to exercise the engine axis, e.g. the full-127-qubit layer fidelity:
 //
-//	casq -spec fig8 -backend eagle127 -engine stab
-func runSpec(id, backend, engine string, full bool, seed int64, seedSet bool) {
+//	casq -spec fig8 -backend eagle127 -engine stab -shots 100000
+//
+// The bit-plane stabilizer engine advances 64 shots per word operation, so
+// raising -shots to 10^5 costs tens of milliseconds per circuit, not
+// seconds.
+func runSpec(id, backend, engine string, full bool, shots int, seed int64, seedSet bool) {
 	opts := experiments.FastOptions()
 	if full {
 		opts = experiments.DefaultOptions()
 	}
 	opts.Backend = backend
 	opts.Engine = engine
+	if shots > 0 {
+		opts.Shots = shots
+	}
 	if seedSet {
 		opts.Seed = seed
 	}
@@ -190,6 +199,7 @@ func main() {
 		spec     = flag.String("spec", "", "run a paper experiment by id (see experiments -list) instead of the compile demo")
 		engine   = flag.String("engine", "", "simulation engine for -spec: statevector, stab, or auto")
 		full     = flag.Bool("full", false, "full-quality sampling for -spec (default: fast reduced axes)")
+		shots    = flag.Int("shots", 0, "shot budget per data point for -spec (0 = preset default)")
 		steps    = flag.Int("steps", 2, "workload depth")
 		seed     = flag.Int64("seed", 7, "twirl seed (compile demo) / experiment seed override (-spec)")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
@@ -216,7 +226,7 @@ func main() {
 				seedSet = true
 			}
 		})
-		runSpec(*spec, *backend, *engine, *full, *seed, seedSet)
+		runSpec(*spec, *backend, *engine, *full, *shots, *seed, seedSet)
 		return
 	}
 	wf, ok := workloads[*workload]

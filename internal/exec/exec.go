@@ -70,11 +70,11 @@ func resolveEngine(dev *device.Device, cfg sim.Config, name string, c *circuit.C
 		if err := stab.Supports(c); err != nil {
 			return nil, "", fmt.Errorf("exec: engine %q cannot represent the compiled circuit: %w", EngineStab, err)
 		}
-		return stab.New(dev, cfg), EngineStab, nil
+		return stab.New(dev, blockClamp(cfg)), EngineStab, nil
 	case EngineAuto:
 		supErr := stab.Supports(c)
 		if supErr == nil && stab.HasTwirl(c) {
-			return stab.New(dev, cfg), EngineStab, nil
+			return stab.New(dev, blockClamp(cfg)), EngineStab, nil
 		}
 		eng, resolved, err := statevector()
 		if err != nil {
@@ -91,6 +91,19 @@ func resolveEngine(dev *device.Device, cfg sim.Config, name string, c *circuit.C
 		return eng, resolved, err
 	}
 	return nil, "", fmt.Errorf("exec: unknown engine %q (known: %v)", name, EngineNames())
+}
+
+// blockClamp hands a bit-plane engine its worker share in shot blocks:
+// the stabilizer engine's shot loop claims 64-shot words, so workers
+// beyond sim.ShotBlocks(shots) could never pick up a unit. Capping the
+// request here returns the excess to the scheduler instead of parking
+// idle goroutines on it. Results are worker-count independent, so the
+// clamp cannot change the output.
+func blockClamp(cfg sim.Config) sim.Config {
+	if blocks := sim.ShotBlocks(cfg.Shots); cfg.Workers > blocks {
+		cfg.Workers = blocks
+	}
+	return cfg
 }
 
 // RunOptions configure one twirl-averaged execution.
@@ -138,6 +151,12 @@ type Result struct {
 	ExpVals []float64
 	// Counts merges the measured bitstrings (counts jobs only).
 	Counts map[string]int
+	// Packed holds the job's outcomes as bit-planes — instance shot slices
+	// concatenated in instance order — when every instance ran on a
+	// bit-plane engine (counts jobs only; nil otherwise). Downstream
+	// estimators can accumulate from these words (expval's *Packed
+	// functions) instead of walking the Counts map.
+	Packed *sim.PackedBits
 	// Shots is the total number of shots executed — always the full
 	// budget.
 	Shots int
@@ -162,10 +181,12 @@ func New(dev *device.Device, pl pass.Pipeline) *Executor {
 
 // instanceOut is one instance's contribution, aggregated in index order.
 type instanceOut struct {
-	vals   []float64
-	counts map[string]int
-	shots  int
-	report pass.Report
+	vals      []float64
+	counts    map[string]int
+	packed    sim.PackedBits
+	hasPacked bool
+	shots     int
+	report    pass.Report
 }
 
 // splitmix64 is the SplitMix64 output function — used to derive
@@ -261,6 +282,14 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 		out := instanceOut{shots: cfg.Shots, report: rep}
 		if len(job.Observables) > 0 {
 			out.vals, err = r.Expectations(compiled, job.Observables)
+		} else if ps, ok := r.(sim.PackedSampler); ok {
+			// Bit-plane engines hand back packed outcome words; they stay
+			// packed until job-level aggregation.
+			out.packed, err = ps.CountsPacked(compiled)
+			if err == nil {
+				out.hasPacked = true
+				out.shots = out.packed.Shots
+			}
 		} else {
 			var res sim.Result
 			res, err = r.Counts(compiled)
@@ -347,6 +376,18 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 	} else {
 		res.Counts = map[string]int{}
 	}
+	// Counts jobs where every instance ran on a bit-plane engine stay
+	// packed through aggregation: instance planes are concatenated in
+	// instance order and expanded to the bitstring map once, and the merged
+	// planes are returned for downstream packed accumulation. A mixed job
+	// (auto dispatch picking the statevector kernel for some instances)
+	// falls back to per-instance expansion.
+	allPacked := len(job.Observables) == 0
+	for k := 0; allPacked && k < ro.Instances; k++ {
+		if !outs[k].hasPacked || len(outs[k].packed.Planes) != len(outs[0].packed.Planes) {
+			allPacked = false
+		}
+	}
 	for k := 0; k < ro.Instances; k++ {
 		o := outs[k]
 		res.Shots += o.shots
@@ -355,9 +396,20 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 		for i, v := range o.vals {
 			res.ExpVals[i] += v * float64(o.shots)
 		}
+		if o.hasPacked && !allPacked {
+			o.packed.CountsInto(res.Counts)
+		}
 		for bits, n := range o.counts {
 			res.Counts[bits] += n
 		}
+	}
+	if allPacked {
+		merged := outs[0].packed
+		for k := 1; k < ro.Instances; k++ {
+			merged = merged.Append(outs[k].packed)
+		}
+		res.Packed = &merged
+		merged.CountsInto(res.Counts)
 	}
 	if len(job.Observables) > 0 && res.Shots > 0 {
 		for i := range res.ExpVals {

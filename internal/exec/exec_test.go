@@ -298,3 +298,50 @@ func TestMatchesSerialReference(t *testing.T) {
 		t.Errorf("executor %v, serial reference %v", got[0], want)
 	}
 }
+
+// TestCountsPackedAggregation pins the packed-counts aggregation contract:
+// a counts job whose instances all run on the bit-plane stabilizer engine
+// returns the merged outcome planes — instance shot slices concatenated in
+// instance order, covering the full budget — and the bitstring map is
+// exactly their expansion. A statevector job returns no planes.
+func TestCountsPackedAggregation(t *testing.T) {
+	dev := testDevice()
+	c := circuit.New(4, 2)
+	c.AddLayer(circuit.OneQubitLayer).H(0)
+	c.AddLayer(circuit.TwoQubitLayer).CX(0, 1)
+	c.AddLayer(circuit.MeasureLayer).Measure(0, 0).Measure(1, 1)
+	e := New(dev, pass.Twirled())
+	// 150 shots over 3 instances = 50 each, so the instance-order merge
+	// exercises the non-word-aligned concatenation offsets.
+	ro := RunOptions{Instances: 3, Seed: 5, Cfg: testConfig(150), Engine: EngineStab}
+	res, err := e.Run(context.Background(), Job{Circuit: c, Opts: ro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packed == nil {
+		t.Fatal("stab counts job returned no packed planes")
+	}
+	if res.Packed.Shots != res.Shots || res.Shots != 150 {
+		t.Fatalf("packed shots %d, merged shots %d, want 150", res.Packed.Shots, res.Shots)
+	}
+	if len(res.Packed.Planes) != 2 {
+		t.Fatalf("%d planes, want 2", len(res.Packed.Planes))
+	}
+	expanded := res.Packed.Counts()
+	if len(expanded.Counts) != len(res.Counts) {
+		t.Fatalf("plane expansion %v differs from merged counts %v", expanded.Counts, res.Counts)
+	}
+	for bits, n := range res.Counts {
+		if expanded.Counts[bits] != n {
+			t.Errorf("counts[%q] = %d, plane expansion has %d", bits, n, expanded.Counts[bits])
+		}
+	}
+	ro.Engine = EngineStatevector
+	res, err = e.Run(context.Background(), Job{Circuit: c, Opts: ro})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Packed != nil {
+		t.Error("statevector counts job returned packed planes")
+	}
+}

@@ -26,7 +26,10 @@ import (
 // lattices. Full lattices beyond the statevector limit run on the
 // stabilizer engine — Options.Engine defaults to "auto" there, and
 // `casq -spec fig8 -backend eagle127 -engine stab` is the headline
-// full-127-qubit run.
+// full-127-qubit run. That engine advances 64 shots per word op and
+// accumulates the protocol's expectation values from packed parity words,
+// so a 10^5-shot budget (`-shots 100000`) costs tens of milliseconds per
+// circuit.
 func Fig8LayerFidelity(sp Spec, opts Options) (Figure, error) {
 	fig := Figure{ID: sp.ID, Title: sp.Title, XLabel: "strategy#", YLabel: "LF"}
 	var (

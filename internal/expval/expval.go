@@ -57,19 +57,27 @@ func ZZExpectation(res sim.Result, a, b int) float64 {
 // probs maps bit index -> assignment error. Returns the corrected
 // probability of the given pattern over `bits` ('0'/'1' per entry).
 func CorrectReadout(res sim.Result, bits []int, pattern string, errs []float64) (float64, error) {
+	return invertMoments(func(mask int) float64 { return momentOf(res, bits, mask) },
+		bits, pattern, errs)
+}
+
+// invertMoments is the estimator-independent core of readout correction:
+// P(pattern) = 2^-k * sum over subsets S of prod_{i in S} z_i(pattern)
+// * <prod_{i in S} Z_i>_corrected, where moment(mask) supplies the raw
+// Z-moment of subset `mask` of the listed bits. Both the counts-map and the
+// packed-word estimators share it, so the two paths invert identically.
+func invertMoments(moment func(mask int) float64, bits []int, pattern string, errs []float64) (float64, error) {
 	if len(bits) != len(pattern) || len(bits) != len(errs) {
 		return 0, errors.New("expval: bits/pattern/errs length mismatch")
 	}
 	if len(bits) > 16 {
 		return 0, errors.New("expval: too many bits for moment inversion")
 	}
-	// P(pattern) = 2^-k * sum over subsets S of prod_{i in S} z_i(pattern)
-	// * <prod_{i in S} Z_i>_corrected.
 	k := len(bits)
 	total := 0.0
 	for mask := 0; mask < 1<<k; mask++ {
 		// Corrected moment of subset `mask`.
-		moment := momentOf(res, bits, mask)
+		m := moment(mask)
 		scale := 1.0
 		signTarget := 1.0
 		valid := true
@@ -90,7 +98,7 @@ func CorrectReadout(res sim.Result, bits []int, pattern string, errs []float64) 
 		if !valid {
 			return 0, errors.New("expval: readout error >= 0.5 is uninvertible")
 		}
-		total += signTarget * moment * scale
+		total += signTarget * m * scale
 	}
 	p := total / float64(int(1)<<k)
 	if p < 0 {

@@ -1,0 +1,62 @@
+package expval
+
+import "casq/internal/sim"
+
+// This file holds the packed-word estimators: the same observables as the
+// counts-map API, accumulated directly from bit-plane outcome words
+// (sim.PackedBits) — one popcount per 64 shots instead of a bitstring-map
+// walk, with no per-shot unpacking. Out-of-range bit indices follow the
+// counts-map convention: an unrecorded bit reads 0 (Z = +1).
+
+// MarginalProbabilityPacked returns the probability that classical bit
+// `bit` reads v, accumulated from packed outcome words. A bit that was
+// never recorded matches neither value, as in MarginalProbability.
+func MarginalProbabilityPacked(pb sim.PackedBits, bit, v int) float64 {
+	if pb.Shots == 0 || bit < 0 || bit >= len(pb.Planes) {
+		return 0
+	}
+	ones := pb.Ones(bit)
+	if v == 0 {
+		ones = pb.Shots - ones
+	}
+	return float64(ones) / float64(pb.Shots)
+}
+
+// ZExpectationPacked returns <Z> of the given classical bit: P(0) - P(1).
+func ZExpectationPacked(pb sim.PackedBits, bit int) float64 {
+	if pb.Shots == 0 || bit < 0 || bit >= len(pb.Planes) {
+		return 0
+	}
+	return float64(pb.Shots-2*pb.Ones(bit)) / float64(pb.Shots)
+}
+
+// ZZExpectationPacked returns <Z_a Z_b> over two classical bits: one
+// word-XOR plus popcount per 64 shots.
+func ZZExpectationPacked(pb sim.PackedBits, a, b int) float64 {
+	if pb.Shots == 0 {
+		return 0
+	}
+	return float64(pb.Shots-2*pb.OnesParity([]int{a, b})) / float64(pb.Shots)
+}
+
+// CorrectReadoutPacked is CorrectReadout with the Z-moments accumulated
+// from packed outcome words. It shares the moment-inversion core with the
+// counts-map version, so for the same underlying shots the two return
+// bit-identical probabilities.
+func CorrectReadoutPacked(pb sim.PackedBits, bits []int, pattern string, errs []float64) (float64, error) {
+	return invertMoments(func(mask int) float64 { return momentOfPacked(pb, bits, mask) },
+		bits, pattern, errs)
+}
+
+func momentOfPacked(pb sim.PackedBits, bits []int, mask int) float64 {
+	if pb.Shots == 0 {
+		return 0
+	}
+	var sel []int
+	for i, b := range bits {
+		if mask&(1<<i) != 0 {
+			sel = append(sel, b)
+		}
+	}
+	return float64(pb.Shots-2*pb.OnesParity(sel)) / float64(pb.Shots)
+}

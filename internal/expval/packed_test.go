@@ -1,0 +1,106 @@
+package expval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"casq/internal/sim"
+)
+
+// randomOutcomes builds the same shot record twice: as packed bit-planes
+// and as a bitstring-counts map, so every packed estimator can be pinned
+// against its counts-map twin on identical data.
+func randomOutcomes(t *testing.T, ncb, shots int, seed int64) (sim.PackedBits, sim.Result) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	pb := sim.NewPackedBits(ncb, shots)
+	res := sim.Result{Counts: map[string]int{}, Shots: shots}
+	cbits := make([]int, ncb)
+	for s := 0; s < shots; s++ {
+		for c := 0; c < ncb; c++ {
+			// Biased per-bit rates so moments are far from zero.
+			v := 0
+			if rng.Float64() < 0.15+0.2*float64(c) {
+				v = 1
+			}
+			cbits[c] = v
+			pb.Set(c, s, v)
+		}
+		res.Counts[sim.BitsKey(cbits)]++
+	}
+	return pb, res
+}
+
+// TestPackedEstimatorsMatchCounts pins the packed accumulators against the
+// counts-map estimators on the same outcomes: both reduce the same integer
+// tallies, so they must agree to rounding.
+func TestPackedEstimatorsMatchCounts(t *testing.T) {
+	pb, res := randomOutcomes(t, 3, 70, 5) // full block + tail
+	const tol = 1e-12
+	for bit := 0; bit < 3; bit++ {
+		for v := 0; v < 2; v++ {
+			got, want := MarginalProbabilityPacked(pb, bit, v), MarginalProbability(res, bit, v)
+			if math.Abs(got-want) > tol {
+				t.Errorf("marginal bit %d v=%d: packed %.15f vs counts %.15f", bit, v, got, want)
+			}
+		}
+		got, want := ZExpectationPacked(pb, bit), ZExpectation(res, bit)
+		if math.Abs(got-want) > tol {
+			t.Errorf("<Z_%d>: packed %.15f vs counts %.15f", bit, got, want)
+		}
+	}
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 3; b++ {
+			got, want := ZZExpectationPacked(pb, a, b), ZZExpectation(res, a, b)
+			if math.Abs(got-want) > tol {
+				t.Errorf("<Z_%d Z_%d>: packed %.15f vs counts %.15f", a, b, got, want)
+			}
+		}
+	}
+}
+
+// TestPackedOutOfRangeBits pins the unrecorded-bit conventions against the
+// counts-map versions: marginals match neither value, <Z> is 0, and an
+// out-of-range factor in a product contributes Z = +1.
+func TestPackedOutOfRangeBits(t *testing.T) {
+	pb, res := randomOutcomes(t, 2, 40, 9)
+	if got := MarginalProbabilityPacked(pb, 5, 0); got != MarginalProbability(res, 5, 0) {
+		t.Errorf("out-of-range marginal: packed %v vs counts %v", got, MarginalProbability(res, 5, 0))
+	}
+	if got := ZExpectationPacked(pb, 5); got != ZExpectation(res, 5) {
+		t.Errorf("out-of-range <Z>: packed %v vs counts %v", got, ZExpectation(res, 5))
+	}
+	got, want := ZZExpectationPacked(pb, 0, 5), ZZExpectation(res, 0, 5)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("out-of-range <ZZ>: packed %.15f vs counts %.15f", got, want)
+	}
+}
+
+// TestCorrectReadoutPackedMatchesCounts: the two readout-correction paths
+// share the inversion core and reduce identical integer parities, so the
+// corrected probabilities must be bit-identical.
+func TestCorrectReadoutPackedMatchesCounts(t *testing.T) {
+	pb, res := randomOutcomes(t, 3, 500, 13)
+	bits := []int{0, 2}
+	errs := []float64{0.02, 0.04}
+	for _, pattern := range []string{"00", "01", "10", "11"} {
+		got, err := CorrectReadoutPacked(pb, bits, pattern, errs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := CorrectReadout(res, bits, pattern, errs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("pattern %s: packed %.17f vs counts %.17f (want bit-identical)", pattern, got, want)
+		}
+	}
+	if _, err := CorrectReadoutPacked(pb, bits, "0", errs); err == nil {
+		t.Error("length mismatch not rejected")
+	}
+	if _, err := CorrectReadoutPacked(pb, []int{0}, "0", []float64{0.5}); err == nil {
+		t.Error("uninvertible readout error not rejected")
+	}
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ShotBlockSize is the number of shots that advance together through one
+// word operation in a bit-plane engine: the width of a machine word, one
+// shot per bit.
+const ShotBlockSize = 64
+
+// BlockSeed derives the deterministic RNG seed of shot block b from a
+// config seed. It is the block-granular sibling of ShotSeed: every engine
+// that packs ShotBlockSize shots into one word seeds that word's sampler
+// from BlockSeed(seed, b), so block trajectories cannot depend on which
+// worker claimed the block, and two engines batching the same config draw
+// identical per-word streams.
+func BlockSeed(seed int64, b int) int64 {
+	return seed*1000003 + int64(b)*104729 + 29
+}
+
+// ShotBlocks returns the number of work units ForEachShotBlock hands out
+// for a shot count: one unit per full 64-shot word, plus one unit for the
+// scalar remainder tail when shots is not a multiple of ShotBlockSize.
+// The executor sizes per-instance worker budgets in these units — handing
+// a bit-plane engine more workers than blocks buys nothing.
+func ShotBlocks(shots int) int {
+	if shots <= 0 {
+		return 1
+	}
+	n := shots / ShotBlockSize
+	if shots%ShotBlockSize != 0 {
+		n++
+	}
+	return n
+}
+
+// ForEachShotBlock is the block-granular variant of ForEachShot: workers
+// claim 64-shot words from an atomic counter and run block(b, base, s) for
+// each full word (base = b*ShotBlockSize), while the remainder shots —
+// shots mod 64 of them, at the end of the index range — run one at a time
+// through tail(i, s), all on whichever worker claims the final unit, in
+// index order. Per-worker state is created once and reused, so the
+// steady-state loop allocates nothing, and each unit's result may depend
+// only on its own index — never on the claiming worker — which is what
+// makes results bit-identical for any worker count. With one worker (or
+// one unit) everything runs inline with no goroutines.
+func ForEachShotBlock[S any](shots, workers int, newState func() S,
+	block func(b, base int, s S), tail func(i int, s S)) {
+	if shots <= 0 {
+		return
+	}
+	full := shots / ShotBlockSize
+	// Single-assignment on purpose: the worker goroutines capture units,
+	// and a post-init write would turn it into a by-reference capture that
+	// heap-allocates even on the serial path.
+	units := ShotBlocks(shots)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > units {
+		workers = units
+	}
+	if workers == 1 {
+		// Inline fast path: no goroutines, no closures — the steady-state
+		// loop performs zero allocations beyond the caller's newState.
+		s := newState()
+		for u := 0; u < full; u++ {
+			block(u, u*ShotBlockSize, s)
+		}
+		for i := full * ShotBlockSize; i < shots; i++ {
+			tail(i, s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := newState()
+			for {
+				u := int(next.Add(1)) - 1
+				if u >= units {
+					return
+				}
+				if u < full {
+					block(u, u*ShotBlockSize, s)
+					continue
+				}
+				for i := full * ShotBlockSize; i < shots; i++ {
+					tail(i, s)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

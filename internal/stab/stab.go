@@ -32,6 +32,7 @@ package stab
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"casq/internal/circuit"
@@ -47,6 +48,13 @@ import (
 type Engine struct {
 	Dev *device.Device
 	Cfg sim.Config
+
+	// Scalar forces the retained scalar-per-shot reference path (frame.go)
+	// instead of the default bit-plane batched path (block.go), which
+	// advances 64 shots per word op. The two are differentially pinned
+	// against each other in this package's tests; production callers leave
+	// Scalar false.
+	Scalar bool
 }
 
 // New returns a stabilizer engine.
@@ -61,26 +69,65 @@ var _ sim.Engine = (*Engine)(nil)
 // (classical bit i at string position i), shot-for-shot deterministic in
 // Cfg.Seed and independent of the worker count.
 func (e *Engine) Counts(c *circuit.Circuit) (sim.Result, error) {
-	p, err := e.compile(c)
+	if e.Scalar {
+		p, err := e.compile(c)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		shots := e.numShots()
+		keys := make([]string, shots)
+		e.forEachShot(p, func(i int, f *frame) {
+			keys[i] = sim.BitsKey(f.cbits)
+		})
+		res := sim.Result{Counts: map[string]int{}, Shots: shots}
+		for _, k := range keys {
+			res.Counts[k]++
+		}
+		return res, nil
+	}
+	pb, err := e.CountsPacked(c)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	shots := e.numShots()
-	keys := make([]string, shots)
-	e.forEachShot(p, func(i int, f *frame) {
-		keys[i] = sim.BitsKey(f.cbits)
-	})
-	res := sim.Result{Counts: map[string]int{}, Shots: shots}
-	for _, k := range keys {
-		res.Counts[k]++
-	}
-	return res, nil
+	return pb.Counts(), nil
 }
 
-// obsPlan is one compiled observable: packed X/Z masks plus the reference
-// state's exact expectation (+1, -1, or 0).
+// Engine implements sim.PackedSampler.
+var _ sim.PackedSampler = (*Engine)(nil)
+
+// CountsPacked runs the circuit through the bit-plane path and returns the
+// measured classical bits as shot-packed planes: full 64-shot blocks copy
+// their outcome words straight into the planes (one word move per
+// classical bit), the scalar remainder tail sets its bits individually.
+// Results are deterministic in Cfg.Seed and bit-identical for any worker
+// count.
+func (e *Engine) CountsPacked(c *circuit.Circuit) (sim.PackedBits, error) {
+	p, err := e.compile(c)
+	if err != nil {
+		return sim.PackedBits{}, err
+	}
+	pb := sim.NewPackedBits(p.ncb, e.numShots())
+	e.forEachShotBlock(p,
+		func(b, base int, bf *blockFrame) {
+			for cb := 0; cb < p.ncb; cb++ {
+				pb.Planes[cb][b] = bf.cbits[cb]
+			}
+		},
+		func(i int, f *frame) {
+			for cb, v := range f.cbits {
+				pb.Set(cb, i, v)
+			}
+		})
+	return pb, nil
+}
+
+// obsPlan is one compiled observable: packed X/Z masks (qubit axis, for
+// the scalar path), the support qubit lists (for the bit-plane path's
+// word-parallel parity), and the reference state's exact expectation
+// (+1, -1, or 0).
 type obsPlan struct {
 	px, pz []uint64
+	xQ, zQ []int32
 	ref    float64
 }
 
@@ -99,11 +146,15 @@ func (e *Engine) planObs(p *program, o sim.ObsSpec) (obsPlan, error) {
 		switch o[q] {
 		case 'X':
 			pl.px[w] |= 1 << b
+			pl.xQ = append(pl.xQ, int32(q))
 		case 'Y':
 			pl.px[w] |= 1 << b
 			pl.pz[w] |= 1 << b
+			pl.xQ = append(pl.xQ, int32(q))
+			pl.zQ = append(pl.zQ, int32(q))
 		case 'Z':
 			pl.pz[w] |= 1 << b
+			pl.zQ = append(pl.zQ, int32(q))
 		case 'I':
 		default:
 			return obsPlan{}, fmt.Errorf("stab: invalid observable label %q", o[q])
@@ -116,8 +167,10 @@ func (e *Engine) planObs(p *program, o sim.ObsSpec) (obsPlan, error) {
 // Expectations runs the circuit and returns the mean over frame
 // trajectories of each Pauli observable: the reference tableau provides
 // the exact noiseless expectation, each shot contributes its frame's sign
-// relative to it. The reduction runs in shot-index order so the result is
-// bit-identical for any worker count.
+// relative to it. On the bit-plane path each full 64-shot block
+// contributes one popcount-reduced partial sum per observable
+// (ref * (64 - 2*popcount(parity word))); the reduction runs in unit-index
+// order so the result is bit-identical for any worker count.
 func (e *Engine) Expectations(c *circuit.Circuit, obs []sim.ObsSpec) ([]float64, error) {
 	p, err := e.compile(c)
 	if err != nil {
@@ -131,19 +184,55 @@ func (e *Engine) Expectations(c *circuit.Circuit, obs []sim.ObsSpec) ([]float64,
 	}
 	shots := e.numShots()
 	nobs := len(obs)
-	sums := make([]float64, shots*nobs)
-	e.forEachShot(p, func(i int, f *frame) {
-		row := sums[i*nobs : (i+1)*nobs]
-		for j := range plans {
-			v := plans[j].ref
-			if v != 0 && f.anticommutes(plans[j].px, plans[j].pz) {
-				v = -v
+	if e.Scalar {
+		sums := make([]float64, shots*nobs)
+		e.forEachShot(p, func(i int, f *frame) {
+			row := sums[i*nobs : (i+1)*nobs]
+			for j := range plans {
+				v := plans[j].ref
+				if v != 0 && f.anticommutes(plans[j].px, plans[j].pz) {
+					v = -v
+				}
+				row[j] = v
 			}
-			row[j] = v
-		}
-	})
+		})
+		return reduceRows(sums, shots, nobs), nil
+	}
+	// One row per full 64-shot block, then one per remainder tail shot.
+	full := shots / sim.ShotBlockSize
+	rem := shots - full*sim.ShotBlockSize
+	sums := make([]float64, (full+rem)*nobs)
+	e.forEachShotBlock(p,
+		func(b, base int, bf *blockFrame) {
+			row := sums[b*nobs : (b+1)*nobs]
+			for j := range plans {
+				if plans[j].ref == 0 {
+					continue
+				}
+				par := bf.anticommuteWord(&plans[j])
+				row[j] = plans[j].ref * float64(sim.ShotBlockSize-2*bits.OnesCount64(par))
+			}
+		},
+		func(i int, f *frame) {
+			r := full + (i - full*sim.ShotBlockSize)
+			row := sums[r*nobs : (r+1)*nobs]
+			for j := range plans {
+				v := plans[j].ref
+				if v != 0 && f.anticommutes(plans[j].px, plans[j].pz) {
+					v = -v
+				}
+				row[j] = v
+			}
+		})
+	return reduceRows(sums, shots, nobs), nil
+}
+
+// reduceRows sums per-unit partial rows in unit order and normalizes by
+// the shot count — the deterministic reduction both shot paths share.
+func reduceRows(sums []float64, shots, nobs int) []float64 {
 	out := make([]float64, nobs)
-	for i := 0; i < shots; i++ {
+	rows := len(sums) / max(nobs, 1)
+	for i := 0; i < rows; i++ {
 		for j := 0; j < nobs; j++ {
 			out[j] += sums[i*nobs+j]
 		}
@@ -151,7 +240,7 @@ func (e *Engine) Expectations(c *circuit.Circuit, obs []sim.ObsSpec) ([]float64,
 	for j := range out {
 		out[j] /= float64(shots)
 	}
-	return out, nil
+	return out
 }
 
 // Info compiles the circuit and returns the program summary (op, channel,

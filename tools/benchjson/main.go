@@ -1,7 +1,9 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
-// array of {name, ns_per_op, bytes_per_op, allocs_per_op} records on
-// stdout, so CI can archive the perf trajectory as a machine-readable
-// artifact (BENCH_sim.json) from one PR to the next.
+// array of {name, ns_per_op, bytes_per_op, allocs_per_op, metrics} records
+// on stdout, so CI can archive the perf trajectory as a machine-readable
+// artifact (BENCH_sim.json, BENCH_stab.json) from one PR to the next.
+// Custom units reported via b.ReportMetric — e.g. the stabilizer batch
+// bench's "shots/s" — land in the metrics map keyed by unit.
 package main
 
 import (
@@ -19,6 +21,8 @@ type record struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	// Metrics holds custom b.ReportMetric units (e.g. "shots/s").
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 func main() {
@@ -53,6 +57,15 @@ func main() {
 				r.BytesPerOp, _ = strconv.ParseInt(v, 10, 64)
 			case "allocs/op":
 				r.AllocsPerOp, _ = strconv.ParseInt(v, 10, 64)
+			default:
+				f, err := strconv.ParseFloat(v, 64)
+				if err != nil {
+					continue
+				}
+				if r.Metrics == nil {
+					r.Metrics = map[string]float64{}
+				}
+				r.Metrics[fields[i+1]] = f
 			}
 		}
 		out = append(out, r)
