@@ -9,6 +9,7 @@ import (
 	"casq/internal/caec"
 	"casq/internal/circuit"
 	"casq/internal/core"
+	"casq/internal/correl"
 	"casq/internal/dd"
 	"casq/internal/device"
 	"casq/internal/exec"
@@ -166,6 +167,46 @@ type (
 	// FabricStats snapshots the coordinator's queue and fleet counters.
 	FabricStats = fabric.Stats
 )
+
+// Error-correlation spectroscopy: two-point statistics of outcome flips,
+// estimated word-parallel from packed bit planes.
+type (
+	// CorrelationMatrix holds per-qubit flip rates and per-pair
+	// covariance/correlation estimates with jackknife standard errors,
+	// reduced directly from PackedBits planes by word-parallel popcounts.
+	CorrelationMatrix = correl.Matrix
+	// CorrelationPair is one thresholded pair of a sparse correlation
+	// matrix: indices, correlation, and its standard error.
+	CorrelationPair = correl.PairStat
+	// CorrelationDecayBin is the mean |corr| of all pairs at one
+	// coupling-graph distance.
+	CorrelationDecayBin = correl.DecayBin
+	// CorrelationReport is the serve-layer spectroscopy diagnostic: flip
+	// rates, thresholded pairs, and the distance-binned decay profile for
+	// one backend and strategy.
+	CorrelationReport = experiments.CorrelationReport
+)
+
+// EstimateCorrelations reduces packed outcome planes to the full
+// correlation matrix of bit flips — marginals, pair covariances and
+// correlations, and delete-one-block jackknife standard errors — without
+// ever unpacking shots to bytes: all pair counts come from word-parallel
+// popcount identities over the bit planes.
+func EstimateCorrelations(pb PackedBits) CorrelationMatrix { return correl.Estimate(pb) }
+
+// PackedBitsFromCounts expands a bitstring-counts map (the statevector
+// kernel's output format) into packed bit planes, so counts-only results
+// feed EstimateCorrelations too.
+func PackedBitsFromCounts(counts map[string]int, nBits int) PackedBits {
+	return correl.PackedFromCounts(counts, nBits)
+}
+
+// CorrelationDiagnostic computes the spectroscopy report for a registry
+// backend under one strategy name ("" = twirled) — the computation behind
+// the server's GET /backends/{id}/correlations endpoint.
+func CorrelationDiagnostic(backend, strategy string, opts ExperimentOptions) (CorrelationReport, error) {
+	return experiments.CorrelationDiagnostic(backend, strategy, opts)
+}
 
 // Compatibility types for the pre-redesign compiler API.
 type (

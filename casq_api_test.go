@@ -50,8 +50,8 @@ func TestFacadeCompilerStrategies(t *testing.T) {
 
 func TestFacadeExperiments(t *testing.T) {
 	ids := casq.ExperimentIDs()
-	if len(ids) != 15 {
-		t.Errorf("expected 15 experiments, got %d", len(ids))
+	if len(ids) != 17 {
+		t.Errorf("expected 17 experiments, got %d", len(ids))
 	}
 	opts := casq.FastExperimentOptions()
 	opts.Shots = 8
@@ -292,4 +292,41 @@ func TestFacadeBackendsAndLayout(t *testing.T) {
 	if compiled.NQubits != dev.NQubits || len(rep.Layout) != 4 {
 		t.Errorf("pipeline placement: %d qubits, layout %v", compiled.NQubits, rep.Layout)
 	}
+}
+
+// TestFacadeCorrelations smoke-tests the correlation-spectroscopy exports:
+// the packed estimator on hand-built planes, the counts-map expansion, and
+// the backend diagnostic behind the serve endpoint.
+func TestFacadeCorrelations(t *testing.T) {
+	// Two perfectly correlated bits and one independent bit over 128 shots.
+	rng := rand.New(rand.NewSource(9))
+	counts := map[string]int{}
+	for s := 0; s < 128; s++ {
+		a := rng.Intn(2)
+		c := rng.Intn(2)
+		bits := []byte{'0' + byte(a), '0' + byte(a), '0' + byte(c)}
+		counts[string(bits)]++
+	}
+	m := casq.EstimateCorrelations(casq.PackedBitsFromCounts(counts, 3))
+	if m.N != 3 || m.Shots != 128 {
+		t.Fatalf("matrix shape = (%d qubits, %d shots)", m.N, m.Shots)
+	}
+	if c := m.CorrAt(0, 1); math.Abs(c-1) > 1e-9 {
+		t.Errorf("duplicated bits correlate at %v, want 1", c)
+	}
+	if c := m.CorrAt(0, 2); math.Abs(c) > 0.5 {
+		t.Errorf("independent bits correlate at %v", c)
+	}
+
+	opts := casq.FastExperimentOptions()
+	opts.Shots = 128
+	rep, err := casq.CorrelationDiagnostic("line6", "", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Backend != "line6" || rep.Strategy != "twirled" || len(rep.FlipRates) != 6 {
+		t.Errorf("diagnostic = %+v", rep)
+	}
+	var _ []casq.CorrelationPair = rep.Pairs
+	var _ []casq.CorrelationDecayBin = rep.Decay
 }

@@ -10,6 +10,7 @@
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -workload ising -backend heavyhex127 -strategy ca-dd
 //	casq -spec fig8 -backend eagle127 -engine stab [-full] [-shots N]
+//	casq -spec figC1 -backend eagle127 -engine stab
 //	casq -list
 //	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
 //	casq fabric coordinator [-addr host:port] [-store dir] [-lease-ttl D]
@@ -27,7 +28,10 @@
 // full-127-qubit layer-fidelity run that only the stabilizer engine can
 // simulate, and -shots raises its per-point budget (the bit-plane engine
 // advances 64 shots per word op, so 10^5-shot full-device points cost tens
-// of milliseconds). Run `casq -list` for the workload, strategy, pass, engine,
+// of milliseconds). The figC1/figC2 specs are the error-correlation
+// spectroscopy companions: `casq -spec figC1 -backend eagle127 -engine
+// stab` estimates the full 8001-pair flip-correlation matrix per strategy
+// from the packed outcome planes and reports its distance-binned decay. Run `casq -list` for the workload, strategy, pass, engine,
 // and backend vocabularies (including which engines can run each backend
 // at full scale). Experiment-level parallelism lives in the
 // sibling experiments command (its -workers flag sets the unified worker
@@ -36,7 +40,9 @@
 // `casq serve` answers GET /figures/{id} from the store — the first
 // request computes and checkpoints the figure, repeats stream the same
 // bytes back — and runs POST /sweeps grids in the background with
-// checkpoint/resume. See `casq serve -h` for the endpoint list,
+// checkpoint/resume. GET /backends/{id}/correlations serves the cached
+// correlation-spectroscopy diagnostic for a registry backend
+// (strategy=, engine=, and the usual sampling parameters). See `casq serve -h` for the endpoint list,
 // including the rate-limit and graceful-drain hardening flags. To shard
 // sweeps across machines, `casq fabric coordinator` serves the same API
 // backed by a lease-based job queue, and `casq fabric worker` processes

@@ -1,0 +1,288 @@
+package correl
+
+// Statistical harness conventions (see DESIGN.md "Correlation
+// spectroscopy"): every test is seeded (no flaky randomness), acceptance
+// bounds are 5-sigma (or the chi-square 5-sigma-equivalent quantile), and
+// each bound is derived from either the closed-form model variance or the
+// estimator's own jackknife standard error — never an eyeballed tolerance.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"casq/internal/sim"
+)
+
+// genIndependent returns n planes of S i.i.d. Bernoulli(p) flips.
+func genIndependent(rng *rand.Rand, n, S int, p float64) sim.PackedBits {
+	pb := sim.NewPackedBits(n, S)
+	for i := 0; i < n; i++ {
+		for s := 0; s < S; s++ {
+			if rng.Float64() < p {
+				pb.Set(i, s, 1)
+			}
+		}
+	}
+	return pb
+}
+
+func TestPairIndex(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8, 127} {
+		k := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if got := PairIndex(n, i, j); got != k {
+					t.Fatalf("PairIndex(%d,%d,%d) = %d, want %d", n, i, j, got, k)
+				}
+				k++
+			}
+		}
+		if k != Pairs(n) {
+			t.Fatalf("Pairs(%d) = %d, enumerated %d", n, Pairs(n), k)
+		}
+	}
+}
+
+// TestIndependentBernoulli5Sigma pins the estimator against the
+// closed-form independent model: every off-diagonal covariance must sit
+// within 5 jackknife standard errors of zero, the marginals within 5
+// binomial standard errors of p, and the jackknife SE itself must be
+// calibrated against the analytic sampling variance
+// Var(cov) ~ p_i q_i p_j q_j / S.
+func TestIndependentBernoulli5Sigma(t *testing.T) {
+	const (
+		n = 16
+		S = 1 << 15
+	)
+	for _, p := range []float64{0.01, 0.1, 0.5} {
+		rng := rand.New(rand.NewSource(1234 + int64(p*1000)))
+		m := Estimate(genIndependent(rng, n, S, p))
+		sigmaP := math.Sqrt(p * (1 - p) / float64(S))
+		for i := 0; i < n; i++ {
+			if d := math.Abs(m.P[i] - p); d > 5*sigmaP {
+				t.Errorf("p=%v: flip rate of bit %d = %v, off by %.1f sigma", p, i, m.P[i], d/sigmaP)
+			}
+		}
+		sigmaCov := math.Sqrt(p * (1 - p) * p * (1 - p) / float64(S))
+		var meanSE float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				k := PairIndex(n, i, j)
+				bound := 5 * math.Max(m.SECov[k], sigmaCov)
+				if math.Abs(m.Cov[k]) > bound {
+					t.Errorf("p=%v: cov(%d,%d) = %v exceeds 5 sigma (%v)", p, i, j, m.Cov[k], bound)
+				}
+				meanSE += m.SECov[k]
+			}
+		}
+		// Jackknife calibration: the mean reported SE must be within a
+		// factor 1.5 of the analytic sampling sigma (it concentrates much
+		// tighter; 1.5 leaves room for the p=0.01 small-count regime).
+		meanSE /= float64(Pairs(n))
+		if meanSE < sigmaCov/1.5 || meanSE > sigmaCov*1.5 {
+			t.Errorf("p=%v: mean jackknife SE %v not calibrated to analytic %v", p, meanSE, sigmaCov)
+		}
+	}
+}
+
+// zzModel is the shared correlated-ZZ fixture: bits 2k and 2k+1 flip
+// together through a shared Bernoulli(q) ZZ event on top of independent
+// Bernoulli(p) background flips (flip = background XOR event).
+type zzModel struct{ p, q float64 }
+
+func (mo zzModel) rate() float64 { return mo.p*(1-mo.q) + mo.q*(1-mo.p) }
+
+// cov is the closed-form covariance of a shared-event pair.
+func (mo zzModel) cov() float64 {
+	r := mo.rate()
+	e11 := mo.q*(1-mo.p)*(1-mo.p) + (1-mo.q)*mo.p*mo.p
+	return e11 - r*r
+}
+
+// joint is the closed-form 2x2 joint distribution [p00, p01, p10, p11].
+func (mo zzModel) joint() [4]float64 {
+	p11 := mo.q*(1-mo.p)*(1-mo.p) + (1-mo.q)*mo.p*mo.p
+	p10 := mo.p * (1 - mo.p) // event value cancels across the two branches
+	return [4]float64{1 - p11 - 2*p10, p10, p10, p11}
+}
+
+func genZZ(rng *rand.Rand, pairs, S int, mo zzModel) sim.PackedBits {
+	pb := sim.NewPackedBits(2*pairs, S)
+	for s := 0; s < S; s++ {
+		for k := 0; k < pairs; k++ {
+			e := 0
+			if rng.Float64() < mo.q {
+				e = 1
+			}
+			for _, b := range []int{2 * k, 2*k + 1} {
+				x := 0
+				if rng.Float64() < mo.p {
+					x = 1
+				}
+				pb.Set(b, s, x^e)
+			}
+		}
+	}
+	return pb
+}
+
+// TestCorrelatedZZClosedForm pins the estimator against the analytically
+// solvable shared-event model: within-pair covariance and correlation
+// must match the closed form within 5 jackknife SEs, across-pair
+// covariance must vanish, and the chi-square of the joint counts against
+// the model distribution must pass at the 5-sigma quantile — while a
+// deliberately wrong model (independence) must be rejected by the same
+// statistic, so the test has power.
+func TestCorrelatedZZClosedForm(t *testing.T) {
+	const (
+		pairs = 4
+		S     = 1 << 16
+	)
+	mo := zzModel{p: 0.05, q: 0.08}
+	rng := rand.New(rand.NewSource(99))
+	m := Estimate(genZZ(rng, pairs, S, mo))
+	r := mo.rate()
+	wantCorr := mo.cov() / (r * (1 - r))
+	for k := 0; k < pairs; k++ {
+		a, b := 2*k, 2*k+1
+		if d := math.Abs(m.CovAt(a, b) - mo.cov()); d > 5*m.SECovAt(a, b) {
+			t.Errorf("pair (%d,%d): cov %v vs closed form %v (> 5 SE = %v)",
+				a, b, m.CovAt(a, b), mo.cov(), 5*m.SECovAt(a, b))
+		}
+		if d := math.Abs(m.CorrAt(a, b) - wantCorr); d > 5*m.SECorrAt(a, b) {
+			t.Errorf("pair (%d,%d): corr %v vs closed form %v (> 5 SE = %v)",
+				a, b, m.CorrAt(a, b), wantCorr, 5*m.SECorrAt(a, b))
+		}
+		chi := ChiSquare2x2(m.JointCounts(a, b), mo.joint(), S)
+		if chi > ChiSquare3DF5Sigma {
+			t.Errorf("pair (%d,%d): chi-square %v vs model exceeds %v", a, b, chi, ChiSquare3DF5Sigma)
+		}
+		// Power check: the independence model must be rejected.
+		pi, pj := m.P[a], m.P[b]
+		indep := [4]float64{(1 - pi) * (1 - pj), (1 - pi) * pj, pi * (1 - pj), pi * pj}
+		if chi := ChiSquare2x2(m.JointCounts(a, b), indep, S); chi < ChiSquare3DF5Sigma {
+			t.Errorf("pair (%d,%d): chi-square %v failed to reject independence", a, b, chi)
+		}
+	}
+	// Bits of different pairs are independent: covariance within 5 sigma
+	// of zero.
+	for a := 0; a < 2*pairs; a++ {
+		for b := a + 1; b < 2*pairs; b++ {
+			if b == a+1 && a%2 == 0 {
+				continue // within-pair
+			}
+			if math.Abs(m.CovAt(a, b)) > 5*m.SECovAt(a, b) {
+				t.Errorf("cross pair (%d,%d): cov %v exceeds 5 SE %v", a, b, m.CovAt(a, b), 5*m.SECovAt(a, b))
+			}
+		}
+	}
+}
+
+// TestPackedVsScalarBitIdentical is the differential pin: the packed
+// word-parallel estimator and the naive per-shot reference must agree
+// bit-for-bit on random planes — including records whose shot counts are
+// not multiples of 64 and whose tail words carry deliberately planted
+// garbage beyond the last valid shot, the exact class of bug a missing
+// tail mask would silently absorb into a popcount.
+func TestPackedVsScalarBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, S := range []int{1, 63, 64, 65, 130, 640, 1000} {
+		pb := sim.NewPackedBits(13, S)
+		for i := range pb.Planes {
+			for w := range pb.Planes[i] {
+				// Fill whole words: bits beyond S in the last word are
+				// garbage the estimator must mask out.
+				pb.Planes[i][w] = rng.Uint64()
+			}
+		}
+		packed, scalar := Estimate(pb), EstimateScalar(pb)
+		if !reflect.DeepEqual(packed, scalar) {
+			t.Fatalf("shots=%d: packed and scalar estimators differ\npacked: %+v\nscalar: %+v", S, packed, scalar)
+		}
+		if S < 64 {
+			for _, se := range packed.SECov {
+				if se != 0 {
+					t.Fatalf("shots=%d: single-block record reported nonzero jackknife SE", S)
+				}
+			}
+		}
+	}
+}
+
+// TestPackedFromCountsPreservesStatistics pins the counts-map bridge: the
+// reconstructed planes carry exactly the original marginal and joint flip
+// counts (shot order is synthetic, counts are not).
+func TestPackedFromCountsPreservesStatistics(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	pb := genIndependent(rng, 6, 500, 0.3)
+	recon := PackedFromCounts(pb.Counts().Counts, 6)
+	if recon.Shots != pb.Shots {
+		t.Fatalf("shots: %d != %d", recon.Shots, pb.Shots)
+	}
+	a, b := Estimate(pb), Estimate(recon)
+	if !reflect.DeepEqual(a.Ones, b.Ones) {
+		t.Fatalf("marginal counts differ: %v vs %v", a.Ones, b.Ones)
+	}
+	if !reflect.DeepEqual(a.N11, b.N11) {
+		t.Fatalf("joint counts differ: %v vs %v", a.N11, b.N11)
+	}
+}
+
+// TestSparseAndDecay checks the thresholded representation and the
+// distance-binned decay curve on a construction with one strong pair.
+func TestSparseAndDecay(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	mo := zzModel{p: 0.02, q: 0.2}
+	pb := genZZ(rng, 1, 1<<14, mo) // bits 0,1 correlated
+	ext := genIndependent(rng, 2, 1<<14, 0.02)
+	pb.Planes = append(pb.Planes, ext.Planes...) // bits 2,3 independent
+	m := Estimate(pb)
+
+	sp := m.Sparse(0.1)
+	if len(sp) == 0 || sp[0].I != 0 || sp[0].J != 1 {
+		t.Fatalf("Sparse(0.1) did not rank the correlated pair first: %+v", sp)
+	}
+	for _, ps := range sp[1:] {
+		if ps.I == 0 && ps.J == 1 {
+			continue
+		}
+		t.Errorf("Sparse(0.1) kept an uncorrelated pair: %+v", ps)
+	}
+
+	// Path-graph distances on 4 nodes: |i-j|.
+	dist := make([][]int, 4)
+	for i := range dist {
+		dist[i] = make([]int, 4)
+		for j := range dist[i] {
+			dist[i][j] = int(math.Abs(float64(i - j)))
+		}
+	}
+	bins := DecayByDistance(m, dist, 0)
+	if len(bins) != 3 || bins[0].Distance != 1 || bins[0].Pairs != 3 {
+		t.Fatalf("unexpected decay bins: %+v", bins)
+	}
+	if bins[0].MeanAbsCorr <= bins[2].MeanAbsCorr {
+		t.Errorf("distance-1 bin (%v) not above distance-3 bin (%v) despite the planted pair",
+			bins[0].MeanAbsCorr, bins[2].MeanAbsCorr)
+	}
+	capped := DecayByDistance(m, dist, 2)
+	if len(capped) != 2 {
+		t.Errorf("maxDist=2 kept %d bins, want 2", len(capped))
+	}
+}
+
+func TestJointCountsOrderFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := Estimate(genIndependent(rng, 4, 300, 0.4))
+	a, b := m.JointCounts(1, 3), m.JointCounts(3, 1)
+	// Swapping the pair transposes the table: n01 <-> n10.
+	if a[0] != b[0] || a[3] != b[3] || a[1] != b[2] || a[2] != b[1] {
+		t.Fatalf("JointCounts not transpose-consistent: %v vs %v", a, b)
+	}
+	total := a[0] + a[1] + a[2] + a[3]
+	if total != m.Shots {
+		t.Fatalf("joint counts sum to %d, want %d", total, m.Shots)
+	}
+}

@@ -48,7 +48,8 @@ func TestRunUnknownID(t *testing.T) {
 func TestIDsComplete(t *testing.T) {
 	ids := IDs()
 	want := []string{"fig3c", "fig3d", "fig3e", "fig3f", "fig4a", "fig4b", "fig4c",
-		"fig5", "fig6", "fig7c", "fig7d", "fig8", "fig9", "fig10", "table1"}
+		"fig5", "fig6", "fig7c", "fig7d", "fig8", "fig9", "fig10", "table1",
+		"figC1", "figC2"}
 	if len(ids) != len(want) {
 		t.Fatalf("registry has %d entries, want %d", len(ids), len(want))
 	}

@@ -147,6 +147,15 @@ var (
 // executor; specs without it run the statevector kernel unconditionally.
 var engineAware = []string{exec.EngineStab, exec.EngineAuto}
 
+// The correlation-spectroscopy figures run the full-device Ramsey probe,
+// which embeds on any backend; full lattices beyond the statevector limit
+// default to the stabilizer engine (not auto — the bare strategy carries
+// no twirl for auto to dispatch on).
+var (
+	correlStrategyNames = []string{"bare", "twirled", "dd-aligned", "dd-staggered", "ca-dd", "ca-ec"}
+	correlBackends      = []string{"line6", "line12", "ring12", "grid16", "layerfid10", "heavyhex29", "heavyhex65", "heavyhex127", "eagle127"}
+)
+
 // catalog is the declarative experiment registry, in paper order. Every
 // figure's sweep space lives here, not in the harnesses: the harness asks
 // its Spec for axis values, and the serving layers enumerate the same
@@ -214,6 +223,19 @@ var catalog = []Spec{
 		Axes:       []Axis{depthAxis(1, 2, 3, 4, 5, 6)}, Run: Fig10Combined},
 	{ID: "table1", Title: "error sources and suppression", Paper: "Table I",
 		Strategies: []string{"ca-ec", "aligned-dd", "staggered", "ca-dd"}, Run: TableI},
+	{ID: "figC1", Title: "error-correlation decay vs coupling distance", Paper: "correlation spectroscopy",
+		Engines:    engineAware,
+		Strategies: correlStrategyNames,
+		Backends:   correlBackends,
+		Axes:       []Axis{{Name: "depth", Values: []float64{4}, Fast: []float64{2}}},
+		Run:        FigC1Decay},
+	{ID: "figC2", Title: "nearest-neighbor correlation vs idle window tau", Paper: "correlation spectroscopy",
+		Engines:    engineAware,
+		Strategies: correlStrategyNames,
+		Backends:   correlBackends,
+		Axes: []Axis{{Name: "tau_ns", Values: []float64{250, 500, 1000, 1500, 2000},
+			Fast: []float64{250, 1000, 2000}}},
+		Run: FigC2TauScan},
 }
 
 // byID indexes the catalog. Harnesses must not call back into the

@@ -154,6 +154,42 @@ func (g *Graph) Subgraph(nodes []int) (*Graph, []int) {
 	return s, order
 }
 
+// Distances returns the BFS hop distance from src to every node; -1 marks
+// nodes unreachable from src. Used by the correlation-spectroscopy figures
+// to bin qubit pairs by coupling-graph distance.
+func (g *Graph) Distances(src int) []int {
+	dist := make([]int, g.N)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.N {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for v := range g.adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// AllDistances returns the full pairwise hop-distance matrix (one BFS per
+// node; -1 for unreachable pairs).
+func (g *Graph) AllDistances() [][]int {
+	out := make([][]int, g.N)
+	for i := range out {
+		out[i] = g.Distances(i)
+	}
+	return out
+}
+
 // Coloring maps node -> color index (>= 0); nodes absent from the map are
 // uncolored.
 type Coloring map[int]int

@@ -148,3 +148,35 @@ func TestValidateColoringDetectsConflict(t *testing.T) {
 		t.Error("conflict not detected")
 	}
 }
+
+func TestDistances(t *testing.T) {
+	// Line 0-1-2-3 plus an isolated node 4.
+	g := New(5)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	want := []int{0, 1, 2, 3, -1}
+	got := g.Distances(0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Distances(0) = %v, want %v", got, want)
+		}
+	}
+	if d := g.Distances(-1); d[0] != -1 {
+		t.Errorf("out-of-range source should mark everything unreachable: %v", d)
+	}
+	all := g.AllDistances()
+	for i := 0; i < g.N; i++ {
+		if all[i][i] != 0 {
+			t.Errorf("AllDistances()[%d][%d] = %d, want 0", i, i, all[i][i])
+		}
+		for j := 0; j < g.N; j++ {
+			if all[i][j] != all[j][i] {
+				t.Errorf("distance matrix not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	if all[1][3] != 2 || all[4][2] != -1 {
+		t.Errorf("unexpected AllDistances: %v", all)
+	}
+}

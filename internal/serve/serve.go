@@ -17,6 +17,12 @@
 //
 //	GET  /experiments        catalog of declarative experiment Specs
 //	GET  /backends           the named device registry (sizes, families)
+//	GET  /backends/{id}/correlations
+//	                         error-correlation spectroscopy diagnostic:
+//	                         the thresholded flip-correlation matrix of a
+//	                         full-device Ramsey probe (seed, shots,
+//	                         instances, fast, strategy, engine); cached,
+//	                         X-Casq-Cache hit or miss
 //	GET  /figures/{id}       one figure; options via query parameters
 //	                         (seed, shots, instances, maxdepth, fast,
 //	                         backend, engine); X-Casq-Cache hit or miss
@@ -50,6 +56,7 @@ import (
 	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/fabric"
+	"casq/internal/store"
 	"casq/internal/sweep"
 )
 
@@ -237,6 +244,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /experiments", s.counted("experiments", s.handleExperiments))
 	mux.HandleFunc("GET /backends", s.counted("backends", s.handleBackends))
+	mux.HandleFunc("GET /backends/{id}/correlations", s.counted("backends.correlations", s.handleCorrelations))
 	mux.HandleFunc("GET /figures/{id}", s.counted("figures", s.handleFigure))
 	mux.HandleFunc("POST /sweeps", s.counted("sweeps.submit", s.handleSweepSubmit))
 	mux.HandleFunc("GET /sweeps", s.counted("sweeps.list", s.handleSweepList))
@@ -398,6 +406,153 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Casq-Cache", "miss")
 	}
 	w.Write(data)
+}
+
+// correlationParams is the accepted /backends/{id}/correlations query
+// vocabulary. Unknown parameters are rejected like on /figures/{id}.
+var correlationParams = map[string]bool{
+	"seed": true, "shots": true, "instances": true, "fast": true,
+	"strategy": true, "engine": true,
+}
+
+// correlationDescriptor is the content-addressed cache key of one
+// correlation diagnostic. Rev versions the payload layout; engine is
+// normalized ("statevector" and "" spell the same computation).
+type correlationDescriptor struct {
+	Rev       int    `json:"rev"`
+	Backend   string `json:"backend"`
+	Strategy  string `json:"strategy"`
+	Engine    string `json:"engine"`
+	Seed      int64  `json:"seed"`
+	Shots     int    `json:"shots"`
+	Instances int    `json:"instances"`
+}
+
+// handleCorrelations serves the error-correlation spectroscopy diagnostic
+// of one registry backend: the thresholded sparse flip-correlation matrix
+// of a full-device Ramsey probe (experiments.CorrelationDiagnostic),
+// cached through the content-addressed store — a repeated request streams
+// the checkpointed bytes back unchanged with X-Casq-Cache: hit.
+func (s *Server) handleCorrelations(w http.ResponseWriter, r *http.Request) {
+	if s.limiter != nil {
+		if retryAfter, limited := s.limiter.take(time.Now()); limited {
+			w.Header().Set("Retry-After", strconv.Itoa(retrySeconds(retryAfter)))
+			writeError(w, http.StatusTooManyRequests, "figure rate limit exceeded; retry after %s", retryAfter.Round(time.Millisecond))
+			return
+		}
+	}
+	id := r.PathValue("id")
+	info, ok := device.LookupBackend(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown backend %q (see /backends)", id)
+		return
+	}
+	q := r.URL.Query()
+	for name := range q {
+		if !correlationParams[name] {
+			writeError(w, http.StatusBadRequest,
+				"unknown parameter %q (known: engine, fast, instances, seed, shots, strategy)", name)
+			return
+		}
+	}
+	opts := experiments.DefaultOptions()
+	if fast, err := boolParam(q.Get("fast")); err != nil {
+		writeError(w, http.StatusBadRequest, "fast: %v", err)
+		return
+	} else if fast {
+		opts = experiments.FastOptions()
+	}
+	for _, p := range []struct {
+		name string
+		dst  *int
+	}{{"shots", &opts.Shots}, {"instances", &opts.Instances}} {
+		if v := q.Get(p.name); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				writeError(w, http.StatusBadRequest, "%s: not a non-negative integer: %q", p.name, v)
+				return
+			}
+			*p.dst = n
+		}
+	}
+	if v := q.Get("seed"); v != "" {
+		n, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed: not an integer: %q", v)
+			return
+		}
+		opts.Seed = n
+	}
+	if v := q.Get("engine"); v != "" {
+		if !exec.ValidEngine(v) {
+			writeError(w, http.StatusBadRequest, "engine: unknown %q (known: %v)", v, exec.EngineNames())
+			return
+		}
+		opts.Engine = v
+	}
+	// Pre-validate the engine against the backend's capabilities: an
+	// explicit statevector request on a device beyond the amplitude limit
+	// is the client's mistake, not a server fault. "" defaults to the
+	// stabilizer engine at full scale, and "auto" dispatches per instance.
+	if opts.Engine == exec.EngineStatevector && !backendHasEngine(info, opts.Engine) {
+		writeError(w, http.StatusBadRequest,
+			"backend %s (%d qubits) cannot run the full device on engine %q (able: %v)",
+			id, info.NQubits, opts.Engine, info.Engines)
+		return
+	}
+	strategy := q.Get("strategy")
+
+	desc := correlationDescriptor{
+		Rev:     1,
+		Backend: id, Strategy: strategy, Engine: opts.Engine,
+		Seed: opts.Seed, Shots: opts.Shots, Instances: opts.Instances,
+	}
+	if desc.Strategy == "" {
+		desc.Strategy = "twirled"
+	}
+	if desc.Engine == exec.EngineStatevector {
+		desc.Engine = ""
+	}
+	key, err := store.Fingerprint(desc)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if data, ok, err := s.cache.Store.Get(key); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	} else if ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Casq-Cache", "hit")
+		w.Write(data)
+		return
+	}
+	rep, err := experiments.CorrelationDiagnostic(id, strategy, opts)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := s.cache.Store.Put(key, data); err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Casq-Cache", "miss")
+	w.Write(data)
+}
+
+func backendHasEngine(info device.BackendInfo, engine string) bool {
+	for _, e := range info.Engines {
+		if e == engine {
+			return true
+		}
+	}
+	return false
 }
 
 // sweepAccepted is the POST /sweeps response body.

@@ -424,3 +424,43 @@ func TestCellKeyIgnoresIrrelevantMaxDepth(t *testing.T) {
 		t.Error("MaxDepth ignored for a depth-swept experiment")
 	}
 }
+
+// TestSweepFigCEngineGrid runs the correlation-spectroscopy spec over the
+// engine axis with the real harness: each engine is a distinct cell with
+// its own checkpoint, and rerunning the grid is answered entirely from
+// the store.
+func TestSweepFigCEngineGrid(t *testing.T) {
+	var computes atomic.Int32
+	cache := memCache(t, func(id string, opts experiments.Options) (experiments.Figure, error) {
+		computes.Add(1)
+		return experiments.Run(id, opts)
+	})
+	base := experiments.FastOptions()
+	base.Shots = 128
+	base.Instances = 2
+	spec := Spec{
+		IDs:  []string{"figC1"},
+		Grid: Grid{Engines: []string{"statevector", "stab"}},
+		Base: base,
+	}
+	run, err := (&Runner{Cache: cache, Workers: 2}).Start(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := run.Wait()
+	if !p.Finished || p.Total != 2 || p.Computed != 2 || p.Failed != 0 {
+		t.Fatalf("progress = %+v", p)
+	}
+	run2, _ := (&Runner{Cache: cache, Workers: 2}).Start(context.Background(), spec)
+	if p2 := run2.Wait(); p2.Cached != 2 || p2.Computed != 0 {
+		t.Fatalf("second run progress = %+v", p2)
+	}
+	if got := computes.Load(); got != 2 {
+		t.Errorf("computed %d cells across both runs, want 2", got)
+	}
+	// The spectroscopy specs do not honor an engine they don't declare.
+	bad := Spec{IDs: []string{"figC1"}, Grid: Grid{Engines: []string{"nosuch"}}, Base: base}
+	if _, err := bad.Cells(); err == nil {
+		t.Error("unknown engine must fail expansion")
+	}
+}
