@@ -482,6 +482,52 @@ func BenchmarkLayoutRouting(b *testing.B) {
 	}
 }
 
+// BenchmarkChoose127Q measures the surrogate-pruned layout search against
+// exhaustive exact scoring on the 127-qubit Eagle lattice: the pruned
+// sub-benchmark runs the default three-tier search (static filter ->
+// surrogate fit on a small exact batch -> exact scoring of the predicted
+// top-K), the exhaustive one exact-scores every enumerated candidate. Both
+// report candidates/s and choose_ms series that CI archives into
+// BENCH_compile.json, so choose_ms(exhaustive)/choose_ms(pruned) is the
+// pruning speedup tracked from one PR to the next. The pruned search must
+// select a placement whose exact score is no worse than the exhaustive
+// optimum (on this workload it finds the identical placement).
+func BenchmarkChoose127Q(b *testing.B) {
+	dev, err := device.NewBackend("heavyhex127")
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := models.BuildFloquetIsing(6, 4)
+	exhaustive := layout.DefaultOptions()
+	exhaustive.NoSurrogate = true
+	exhaustive.TopK = layout.DefaultMaxCandidates
+	_, want, err := layout.ChooseWith(dev, c, exhaustive)
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(opts layout.Options, checkScore bool) func(b *testing.B) {
+		return func(b *testing.B) {
+			var rep *layout.SearchReport
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				pl, r, err := layout.ChooseWith(dev, c, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r
+				if checkScore && pl.Score > want.BestExact {
+					b.Fatalf("pruned score %.9f worse than exhaustive optimum %.9f",
+						pl.Score, want.BestExact)
+				}
+			}
+			b.ReportMetric(rep.CandidatesPerSec, "candidates/s")
+			b.ReportMetric(b.Elapsed().Seconds()*1e3/float64(b.N), "choose_ms")
+		}
+	}
+	b.Run("pruned", bench(layout.DefaultOptions(), true))
+	b.Run("exhaustive", bench(exhaustive, false))
+}
+
 // BenchmarkLayoutPipeline127Q compiles the full placed pipeline
 // (layout -> route -> twirl -> sched -> CA-DD) against the Eagle lattice —
 // the end-to-end cost of targeting a full-scale device.

@@ -73,6 +73,17 @@ type (
 	// Placement is a chosen embedding of a circuit into a backend, with
 	// the induced sub-device for simulation.
 	Placement = layout.Placement
+	// LayoutSearchReport carries the layout search's telemetry: candidate
+	// counts, surrogate pruning ratio, scores, and throughput.
+	LayoutSearchReport = layout.SearchReport
+	// LayoutMonitor tracks a deployed placement against calibration drift
+	// and recompiles only when the score degrades past a threshold.
+	LayoutMonitor = layout.Monitor
+	// LayoutMonitorOptions configure the drift thresholds.
+	LayoutMonitorOptions = layout.MonitorOptions
+	// LayoutDecision records how one drift event resolved: absorbed by the
+	// surrogate, exact-checked, or recompiled.
+	LayoutDecision = layout.Decision
 )
 
 // Pass-pipeline types.
@@ -339,6 +350,25 @@ func DefaultLayoutOptions() LayoutOptions { return layout.DefaultOptions() }
 func ChooseLayout(dev *Device, c *Circuit, opts LayoutOptions) (*Placement, error) {
 	return layout.Choose(dev, c, opts)
 }
+
+// ChooseLayoutWith is ChooseLayout plus the search telemetry: candidate
+// counts, the surrogate pruning ratio, exact vs predicted scores, and
+// throughput. The result is bit-deterministic at any Workers setting.
+func ChooseLayoutWith(dev *Device, c *Circuit, opts LayoutOptions) (*Placement, *LayoutSearchReport, error) {
+	return layout.ChooseWith(dev, c, opts)
+}
+
+// NewLayoutMonitor compiles the circuit onto the backend and watches the
+// deployed placement: DriftLayout events re-score it against perturbed
+// calibration (surrogate first, exact past the gate) and recompile only
+// when the exact score exceeds the threshold ratio of the baseline.
+func NewLayoutMonitor(dev *Device, c *Circuit, opts LayoutMonitorOptions) (*LayoutMonitor, error) {
+	return layout.NewMonitor(dev, c, opts)
+}
+
+// PathProbe builds the standard brickwork line probe circuit used by the
+// drift service: n qubits, depth alternating even/odd ECR layers.
+func PathProbe(n, depth int) *Circuit { return layout.PathProbe(n, depth) }
 
 // LayoutPass returns the layout-selection pass for pipeline composition:
 // it rewrites the circuit onto the chosen physical qubits of the

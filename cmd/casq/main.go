@@ -9,6 +9,7 @@
 //	casq -workload ramsey1 -strategy ca-dd -steps 4
 //	casq -workload ising -passes twirl,sched,ec,sched,dd:aligned
 //	casq -workload ising -backend heavyhex127 -strategy ca-dd
+//	casq -workload ising -backend heavyhex127 -layout-report
 //	casq -spec fig8 -backend eagle127 -engine stab [-full] [-shots N]
 //	casq -spec figC1 -backend eagle127 -engine stab
 //	casq -list
@@ -22,7 +23,10 @@
 // retargets the workload onto a named registry backend: the layout and
 // routing passes are prepended, so the compiler picks the subregion with
 // the least predicted coherent error and legalizes any non-adjacent
-// gates with SWAPs. The -spec flag runs a paper experiment by id instead
+// gates with SWAPs. With -layout-report the command instead prints the
+// layout search telemetry for the workload+backend pair — chosen region,
+// surrogate vs exact scores, pruning ratio, fitted feature weights, and
+// the recompile threshold the serve-layer drift monitor applies. The -spec flag runs a paper experiment by id instead
 // of the compile demo; with -backend and -engine it exercises the engine
 // axis — `casq -spec fig8 -backend eagle127 -engine stab` is the
 // full-127-qubit layer-fidelity run that only the stabilizer engine can
@@ -67,6 +71,7 @@ import (
 	"casq/internal/layout"
 	"casq/internal/models"
 	"casq/internal/pass"
+	"casq/internal/surrogate"
 	"casq/internal/twirl"
 )
 
@@ -157,6 +162,48 @@ func sortedKeys[V any](m map[string]V) []string {
 	return out
 }
 
+// runLayoutReport runs the surrogate-pruned layout search for one
+// workload+backend pair and prints its telemetry instead of compiling:
+// the chosen region, exact vs surrogate scores, the pruning leverage, and
+// the drift ratio past which the serve-layer monitor would recompile.
+func runLayoutReport(backend, workload string, circ *circuit.Circuit) {
+	if backend == "" {
+		fmt.Fprintln(os.Stderr, "-layout-report needs -backend (see -list)")
+		os.Exit(2)
+	}
+	dev, err := device.NewBackend(backend)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pl, rep, err := layout.ChooseWith(dev, circ, layout.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("layout report: %s (%dq) on %s (%dq)\n", workload, rep.Qubits, dev.Name, dev.NQubits)
+	fmt.Printf("  region:    %v\n", pl.Region)
+	fmt.Printf("  mapping:   logical->physical %v\n", pl.Phys)
+	fmt.Printf("  exact:     %.6f rad predicted coherent error (best of %d exact-scored)\n",
+		rep.BestExact, rep.ExactScored)
+	if rep.Model != nil {
+		fmt.Printf("  surrogate: %.6f rad predicted for the winner, fit rmse %.3g\n",
+			rep.BestPredicted, rep.Model.RMSE)
+		w := rep.Model.Weights()
+		for j, name := range surrogate.FeatureNames {
+			fmt.Printf("             %-12s %+.3g\n", name, w[j])
+		}
+	} else {
+		fmt.Printf("  surrogate: not fitted (exhaustive exact scoring)\n")
+	}
+	fmt.Printf("  pruning:   %d candidates enumerated, %.1f%% spared exact scoring\n",
+		rep.Enumerated, 100*rep.PruneRatio)
+	fmt.Printf("  search:    %.1f ms, %.0f candidates/s, %d workers\n",
+		rep.ElapsedMS, rep.CandidatesPerSec, rep.Workers)
+	fmt.Printf("  recompile: exact-score ratio above %.2f triggers a new search (casq serve drift loop)\n",
+		layout.DefaultRecompileThreshold)
+}
+
 // runSpec regenerates one paper experiment by id — the service-free way
 // to exercise the engine axis, e.g. the full-127-qubit layer fidelity:
 //
@@ -210,6 +257,7 @@ func main() {
 		seed     = flag.Int64("seed", 7, "twirl seed (compile demo) / experiment seed override (-spec)")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
 		list     = flag.Bool("list", false, "list workloads, strategies, passes, engines and backends")
+		layRep   = flag.Bool("layout-report", false, "report the layout search for -workload on -backend (region, surrogate vs exact scores, pruning ratio) and exit")
 	)
 	flag.Parse()
 
@@ -239,6 +287,11 @@ func main() {
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *workload)
 		os.Exit(2)
+	}
+	if *layRep {
+		_, circ := wf(*steps)
+		runLayoutReport(*backend, *workload, circ)
+		return
 	}
 	var pl pass.Pipeline
 	if *passes != "" {

@@ -28,6 +28,8 @@ func hardeningFlags(fs *flag.FlagSet) func(*serve.Config) {
 		maxSw  = fs.Int("max-sweeps", 0, "max concurrently active sweeps, beyond = 429 (0 = default, <0 = unlimited)")
 		ttl    = fs.Duration("history-ttl", 0, "how long finished sweeps stay queryable past the history cap (0 = default)")
 		drainT = fs.Duration("drain", 0, "shutdown wait for in-flight sweeps (0 = default, <0 = none)")
+		thresh = fs.Float64("recompile-threshold", 0,
+			"drift monitors recompile when the exact score exceeds this ratio of the deployed baseline (0 = default 1.25)")
 	)
 	return func(cfg *serve.Config) {
 		cfg.FigureRPS = *rps
@@ -35,6 +37,7 @@ func hardeningFlags(fs *flag.FlagSet) func(*serve.Config) {
 		cfg.MaxActiveSweeps = *maxSw
 		cfg.HistoryTTL = *ttl
 		cfg.DrainTimeout = *drainT
+		cfg.RecompileThreshold = *thresh
 	}
 }
 
@@ -76,13 +79,16 @@ func serveMain(args []string) {
 	harden := hardeningFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]\n"+
-			"                  [-figure-rps R] [-figure-burst N] [-max-sweeps N] [-history-ttl D] [-drain D]\n\n")
+			"                  [-figure-rps R] [-figure-burst N] [-max-sweeps N] [-history-ttl D] [-drain D]\n"+
+			"                  [-recompile-threshold R]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(fs.Output(), `
 endpoints:
   GET  /experiments        experiment catalog with declared parameter axes
   GET  /backends           named device registry (sizes, topology families)
   GET  /figures/{id}       one figure (query: seed, shots, instances, maxdepth, fast, backend, engine)
+  GET  /backends/{id}/layout   deployed placement of the path probe (query: qubits, depth)
+  POST /backends/{id}/drift    perturb calibration (JSON: seed, drift, qubits, depth), report the decision
   POST /sweeps             submit a sweep spec; returns its id
   GET  /sweeps             all retained sweeps with progress
   GET  /sweeps/{id}        sweep progress

@@ -11,32 +11,34 @@
 // (internal/toggling), so "predicted error" means exactly the angles the
 // downstream passes would otherwise have to fight.
 //
-// Selection runs in two tiers: a cheap static filter (sum of ZZ rates
-// touching the candidate region, plus a 1/T2 term) prunes the enumeration,
-// and the surviving candidates are scored exactly — the circuit is remapped
-// onto the candidate, routed, scheduled, and integrated layer by layer.
-// Candidate enumeration is topology-shaped: interaction graphs that form a
-// path or a cycle enumerate the backend's matching paths/cycles directly;
-// anything else falls back to greedy adjacency-guided growth and lets the
-// router legalize whatever remains non-adjacent.
+// Selection runs in three tiers: a cheap static filter (sum of ZZ rates
+// touching the candidate region, plus a 1/T2 term) orders the enumeration,
+// a ridge-regression surrogate (internal/surrogate) trained online on the
+// first exact-scored batch prunes the remainder, and the survivors are
+// scored exactly — the circuit is remapped onto the candidate, routed,
+// scheduled, and integrated layer by layer on a worker pool with an
+// index-ordered reduction, so the chosen placement is bit-identical at any
+// worker count. Candidate enumeration is topology-shaped: interaction
+// graphs that form a path or a cycle enumerate the backend's matching
+// paths/cycles directly; anything else falls back to greedy
+// adjacency-guided growth and lets the router legalize whatever remains
+// non-adjacent.
 //
 // The two stages are ordinary pass.Passes (Select, Route) for pipeline
 // composition, and Choose/Placement expose the embedding directly for
 // callers that need the induced sub-device — the experiment harnesses
 // simulate on the induced region so simulator cost scales with the circuit,
-// not the backend.
+// not the backend. ChooseWith additionally reports the search telemetry
+// (pruning ratio, fitted surrogate, throughput), and Monitor keeps a chosen
+// placement honest against calibration drift, recompiling only when the
+// predicted error actually rises past a threshold.
 package layout
 
 import (
-	"fmt"
-	"math"
-	"sort"
-
 	"casq/internal/circuit"
 	"casq/internal/device"
 	"casq/internal/gates"
 	"casq/internal/qgraph"
-	"casq/internal/sched"
 	"casq/internal/toggling"
 )
 
@@ -45,19 +47,55 @@ type Options struct {
 	// MaxCandidates caps the path/cycle/greedy enumeration (0 = 4096).
 	MaxCandidates int
 	// TopK is how many statically-filtered candidates receive the exact
-	// toggling-frame score (0 = 32).
+	// toggling-frame score when surrogate pruning is off (0 = 32).
 	TopK int
+	// NoSurrogate disables surrogate pruning: the TopK statically-best
+	// candidates are all scored exactly, as in the pre-surrogate compiler.
+	NoSurrogate bool
+	// FitBatch is how many diversely-ordered candidates are exact-scored to
+	// train the surrogate (0 = 12; values below surrogate.MinSamples fall
+	// back to the exhaustive TopK path).
+	FitBatch int
+	// ExactTopK is how many surrogate-ranked candidates receive an exact
+	// score on top of the fit batch (0 = 8). The fit batch always includes
+	// the statically best region of every diversity round it covers, so the
+	// argmin is taken over guaranteed-exact scores.
+	ExactTopK int
+	// Workers bounds the exact-scoring worker pool (0 = GOMAXPROCS). The
+	// chosen placement is bit-identical at any worker count.
+	Workers int
 }
 
+// Default search bounds.
+const (
+	DefaultMaxCandidates = 4096
+	DefaultTopK          = 32
+	DefaultFitBatch      = 12
+	DefaultExactTopK     = 8
+)
+
 // DefaultOptions returns the standard search bounds.
-func DefaultOptions() Options { return Options{MaxCandidates: 4096, TopK: 32} }
+func DefaultOptions() Options {
+	return Options{
+		MaxCandidates: DefaultMaxCandidates,
+		TopK:          DefaultTopK,
+		FitBatch:      DefaultFitBatch,
+		ExactTopK:     DefaultExactTopK,
+	}
+}
 
 func (o Options) withDefaults() Options {
 	if o.MaxCandidates <= 0 {
-		o.MaxCandidates = 4096
+		o.MaxCandidates = DefaultMaxCandidates
 	}
 	if o.TopK <= 0 {
-		o.TopK = 32
+		o.TopK = DefaultTopK
+	}
+	if o.FitBatch <= 0 {
+		o.FitBatch = DefaultFitBatch
+	}
+	if o.ExactTopK <= 0 {
+		o.ExactTopK = DefaultExactTopK
 	}
 	return o
 }
@@ -389,92 +427,37 @@ func nearestFree(g *qgraph.Graph, phys []int, used []bool) int {
 	return -1
 }
 
-// staticScore is the cheap filter: total ZZ weight internal to the region,
-// half weight for region-crossing edges, plus each member's 1/T2 (Hz).
-func staticScore(dev *device.Device, used map[int]bool) float64 {
-	s := 0.0
-	for _, e := range dev.AllCrosstalkEdges() {
-		ina, inb := used[e.A], used[e.B]
-		switch {
-		case ina && inb:
-			s += dev.ZZ[e]
-		case ina || inb:
-			s += dev.ZZ[e] / 2
-		}
-	}
-	for q := range used {
-		if t2 := dev.T2[q]; t2 > 0 {
-			s += 1e9 / t2
-		}
-	}
-	return s
-}
-
 // PredictError sums the magnitudes of every surviving coherent error angle
 // of a scheduled circuit on a device — the toggling-frame integrals of
 // paper Eq. 1 over all layers, ZZ and Stark included. It is the quantity
 // CA-EC would have to compensate, evaluated before any suppression runs.
+// It is computed by toggling.Scorer in a fixed canonical accumulation
+// order (allocation-free after the first call on a device), so the layout
+// argmin is bit-deterministic across runs and worker counts.
 func PredictError(dev *device.Device, c *circuit.Circuit) float64 {
-	tot := 0.0
-	for i := range c.Layers {
-		m := toggling.BuildLayerModel(&c.Layers[i], dev)
-		r := toggling.Integrate(m, dev, true)
-		// Sum in sorted key order: float addition is order-sensitive and
-		// the layout argmin must be bit-deterministic across runs.
-		qs := make([]int, 0, len(r.PhiZ))
-		for q := range r.PhiZ {
-			qs = append(qs, q)
-		}
-		sort.Ints(qs)
-		for _, q := range qs {
-			tot += math.Abs(r.PhiZ[q])
-		}
-		es := make([]device.Edge, 0, len(r.PhiZZ))
-		for e := range r.PhiZZ {
-			es = append(es, e)
-		}
-		sort.Slice(es, func(i, j int) bool {
-			if es[i].A != es[j].A {
-				return es[i].A < es[j].A
-			}
-			return es[i].B < es[j].B
-		})
-		for _, e := range es {
-			tot += math.Abs(r.PhiZZ[e])
-		}
-	}
-	return tot
-}
-
-// boundaryPenalty upper-bounds the dephasing from ZZ edges that cross the
-// region boundary: the outside qubit idles for the whole circuit, so the
-// inside qubit can accumulate up to 2*pi*nu*T of uncompensated phase.
-func boundaryPenalty(dev *device.Device, used map[int]bool, duration float64) float64 {
-	s := 0.0
-	for _, e := range dev.AllCrosstalkEdges() {
-		if used[e.A] != used[e.B] {
-			s += 2 * math.Pi * dev.ZZ[e] * 1e-9 * duration
-		}
-	}
-	return s
+	return toggling.NewScorer(dev).ScoreCircuit(c)
 }
 
 // Choose selects the minimal-predicted-error embedding of c into dev. The
 // probe circuit should be the deepest instance of the workload (layout is
 // then reused across a depth sweep). Candidates are enumerated by the
-// interaction graph's shape, filtered statically, and the TopK finalists
-// are scored exactly: remapped, routed, scheduled, and integrated in the
-// toggling frame, plus the boundary penalty. Ties break toward the
-// lexicographically smallest mapping so the choice is deterministic.
+// interaction graph's shape, ordered by the static filter, pruned by the
+// online surrogate, and the finalists are scored exactly: remapped,
+// routed, scheduled, and integrated in the toggling frame, plus the
+// boundary penalty. Ties break toward the lexicographically smallest
+// mapping so the choice is deterministic. Choose is ChooseWith without the
+// telemetry.
 func Choose(dev *device.Device, c *circuit.Circuit, opts Options) (*Placement, error) {
-	opts = opts.withDefaults()
-	n := c.NQubits
-	if n > dev.NQubits {
-		return nil, fmt.Errorf("layout: circuit needs %d qubits, backend %s has %d", n, dev.Name, dev.NQubits)
-	}
-	ig := interactionGraph(c)
-	g := dev.CouplingGraph()
+	pl, _, err := ChooseWith(dev, c, opts)
+	return pl, err
+}
 
+// enumerate lists candidate logical->physical mappings, shaped by the
+// interaction graph: path workloads enumerate the backend's simple paths,
+// cycle workloads its cycles, everything else grows greedily and lets the
+// router legalize the rest.
+func enumerate(dev *device.Device, g, ig *qgraph.Graph, opts Options) [][]int {
+	n := ig.N
 	var cands [][]int
 	if ord := pathOrder(ig); ord != nil {
 		for _, p := range enumeratePaths(g, n, opts.MaxCandidates) {
@@ -496,47 +479,7 @@ func Choose(dev *device.Device, c *circuit.Circuit, opts Options) (*Placement, e
 	if len(cands) == 0 {
 		cands = greedyCandidates(dev, g, ig, opts.MaxCandidates)
 	}
-	if len(cands) == 0 {
-		return nil, fmt.Errorf("layout: no %d-qubit embedding found on %s", n, dev.Name)
-	}
-
-	pre := make([]scored, len(cands))
-	for i, phys := range cands {
-		used := map[int]bool{}
-		for _, p := range phys {
-			used[p] = true
-		}
-		pre[i] = scored{phys, staticScore(dev, used)}
-	}
-	sort.Slice(pre, func(i, j int) bool {
-		if pre[i].score != pre[j].score {
-			return pre[i].score < pre[j].score
-		}
-		return lexLess(pre[i].phys, pre[j].phys)
-	})
-	pre = diverseTopK(pre, opts.TopK)
-
-	var best *Placement
-	for _, cand := range pre {
-		pl, err := place(dev, c, cand.phys)
-		if err != nil {
-			continue
-		}
-		if best == nil || pl.Score < best.Score ||
-			(pl.Score == best.Score && lexLess(pl.Phys, best.Phys)) {
-			best = pl
-		}
-	}
-	if best == nil {
-		return nil, fmt.Errorf("layout: no candidate embedding of %d qubits on %s survived scoring", n, dev.Name)
-	}
-	return best, nil
-}
-
-// scored is one candidate mapping with its static filter score.
-type scored struct {
-	phys  []int
-	score float64
+	return cands
 }
 
 func lexLess(a, b []int) bool {
@@ -546,87 +489,4 @@ func lexLess(a, b []int) bool {
 		}
 	}
 	return false
-}
-
-// diverseTopK picks at most k candidates from the statically-sorted list,
-// round-robin across distinct physical regions. The static score is
-// orientation-invariant (it only sees the qubit set), so a cycle region's
-// 24 rotations/reflections sort contiguously and a plain prefix cut would
-// let one region crowd every other out of exact scoring — the exact
-// toggling-frame scorer would never see the regions where the static
-// proxy is wrong (it ignores Stark, scheduling, and the circuit's idling
-// pattern). One orientation per region first, then second orientations,
-// and so on while budget remains, preserving static order within each
-// round.
-func diverseTopK(pre []scored, k int) []scored {
-	if len(pre) <= k {
-		return pre
-	}
-	regionOf := func(phys []int) string {
-		r := append([]int(nil), phys...)
-		sort.Ints(r)
-		return fmt.Sprint(r)
-	}
-	byRegion := map[string][]scored{}
-	var order []string // regions in first-seen (static score) order
-	for _, c := range pre {
-		rk := regionOf(c.phys)
-		if _, seen := byRegion[rk]; !seen {
-			order = append(order, rk)
-		}
-		byRegion[rk] = append(byRegion[rk], c)
-	}
-	picked := make([]scored, 0, k)
-	for round := 0; len(picked) < k; round++ {
-		progressed := false
-		for _, rk := range order {
-			if round < len(byRegion[rk]) {
-				progressed = true
-				picked = append(picked, byRegion[rk][round])
-				if len(picked) == k {
-					break
-				}
-			}
-		}
-		if !progressed {
-			break
-		}
-	}
-	return picked
-}
-
-// place materializes one candidate: induced sub-device, remap, route,
-// schedule, exact score.
-func place(dev *device.Device, c *circuit.Circuit, phys []int) (*Placement, error) {
-	sub, region, err := dev.Induced(dev.Name+"/sub", phys)
-	if err != nil {
-		return nil, err
-	}
-	subIdx := make(map[int]int, len(region))
-	for i, q := range region {
-		subIdx[q] = i
-	}
-	toSub := make([]int, len(phys))
-	for l, p := range phys {
-		toSub[l] = subIdx[p]
-	}
-	mc := Remap(c, toSub, sub.NQubits)
-	routed, _, _, err := RouteCircuit(sub, mc)
-	if err != nil {
-		return nil, err
-	}
-	dur := sched.Schedule(routed, sub)
-	used := map[int]bool{}
-	for _, p := range phys {
-		used[p] = true
-	}
-	score := PredictError(sub, routed) + boundaryPenalty(dev, used, dur)
-	return &Placement{
-		Backend: dev.Name,
-		Phys:    append([]int(nil), phys...),
-		Region:  region,
-		Sub:     sub,
-		ToSub:   toSub,
-		Score:   score,
-	}, nil
 }

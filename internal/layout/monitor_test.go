@@ -1,0 +1,146 @@
+package layout
+
+import (
+	"testing"
+
+	"casq/internal/device"
+)
+
+// monitorFixture compiles a 4q path probe onto a 40q line — wide enough
+// that the default search prunes and therefore carries a fitted surrogate
+// into the monitor.
+func monitorFixture(t *testing.T, mopts MonitorOptions) *Monitor {
+	t.Helper()
+	opts := device.DefaultOptions()
+	opts.Seed = 13
+	dev := device.NewLine("drift40", 40, opts)
+	m, err := NewMonitor(dev, PathProbe(4, 2), mopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Report().Model == nil {
+		t.Fatal("fixture search did not fit a surrogate; monitor would skip the cheap tier")
+	}
+	return m
+}
+
+// TestMonitorAbsorbsSmallDrift pins the cheap tier: a tiny calibration
+// drift must resolve on the surrogate alone — no exact re-score, no
+// recompilation, placement unchanged.
+func TestMonitorAbsorbsSmallDrift(t *testing.T) {
+	m := monitorFixture(t, MonitorOptions{})
+	before := m.Placement()
+	d, err := m.Drift(101, 0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.ExactChecked || d.Recompiled {
+		t.Fatalf("0.5%% drift escalated: exact=%v recompiled=%v (surrogate ratio %.4f)",
+			d.ExactChecked, d.Recompiled, d.SurrogateRatio)
+	}
+	if d.SurrogateRatio <= 0 {
+		t.Fatalf("surrogate tier did not run: ratio %v", d.SurrogateRatio)
+	}
+	if !sameInts(m.Placement().Phys, before.Phys) {
+		t.Fatal("placement changed without a recompile")
+	}
+	st := m.Stats()
+	if st.Drifts != 1 || st.SurrogateChecks != 1 || st.ExactChecks != 0 || st.Recompiles != 0 {
+		t.Fatalf("stats %+v, want one surrogate-only drift", st)
+	}
+}
+
+// TestMonitorEscalatesToExact pins the middle tier: with the surrogate
+// gate forced to ~0, any drift pays for an exact re-score, but a generous
+// threshold still avoids recompiling.
+func TestMonitorEscalatesToExact(t *testing.T) {
+	m := monitorFixture(t, MonitorOptions{Threshold: 1e9, Gate: 1e-9})
+	d, err := m.Drift(7, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.ExactChecked {
+		t.Fatal("gate at ~0 must force the exact re-score")
+	}
+	if d.Recompiled {
+		t.Fatalf("threshold 1e9 recompiled at exact ratio %.4f", d.ExactRatio)
+	}
+	if d.ExactRatio <= 0 {
+		t.Fatalf("exact tier reported ratio %v", d.ExactRatio)
+	}
+	st := m.Stats()
+	if st.ExactChecks != 1 || st.Recompiles != 0 {
+		t.Fatalf("stats %+v, want one exact check and no recompiles", st)
+	}
+}
+
+// TestMonitorRecompilesPastThreshold pins the escalation tier: with the
+// threshold barely above 1 and the gate forced low, a real drift crosses
+// it and the monitor replaces the placement with a fresh search against
+// the drifted calibration, resetting the baseline.
+func TestMonitorRecompilesPastThreshold(t *testing.T) {
+	m := monitorFixture(t, MonitorOptions{Threshold: 1.0001, Gate: 1e-9})
+	var recompiled *Decision
+	for seed := int64(1); seed <= 20; seed++ {
+		d, err := m.Drift(seed, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Recompiled {
+			recompiled = d
+			break
+		}
+	}
+	if recompiled == nil {
+		t.Fatal("20 rounds of 30% compounding drift never crossed a 1.0001 threshold")
+	}
+	st := m.Stats()
+	if st.Recompiles < 1 {
+		t.Fatalf("stats %+v, want at least one recompile", st)
+	}
+	// The new baseline must be the recompiled placement's score against
+	// the drifted calibration, and the deployed placement must match the
+	// decision's region.
+	if st.BaselineScore != m.Placement().Score {
+		t.Fatalf("baseline %.6g != deployed score %.6g", st.BaselineScore, m.Placement().Score)
+	}
+	if !sameInts(recompiled.Region, m.Placement().Region) {
+		t.Fatalf("decision region %v != deployed region %v", recompiled.Region, m.Placement().Region)
+	}
+	// The recompiled placement's score must agree with an independent
+	// re-score of the same mapping on the monitor's current calibration.
+	check, err := Rescore(m.dev, m.probe, m.Placement().Phys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if check.Score != m.Placement().Score {
+		t.Fatalf("deployed score %.17g != independent re-score %.17g", m.Placement().Score, check.Score)
+	}
+}
+
+// TestMonitorDriftDeterministic pins that the whole drift loop is a pure
+// function of the seed sequence: two monitors fed identical drifts land on
+// identical placements, scores, and counters.
+func TestMonitorDriftDeterministic(t *testing.T) {
+	a := monitorFixture(t, MonitorOptions{Threshold: 1.01})
+	b := monitorFixture(t, MonitorOptions{Threshold: 1.01})
+	for seed := int64(1); seed <= 6; seed++ {
+		da, err := a.Drift(seed, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db, err := b.Drift(seed, 0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if da.Score != db.Score || da.Recompiled != db.Recompiled || da.SurrogateRatio != db.SurrogateRatio {
+			t.Fatalf("seed %d: decisions diverged: %+v vs %+v", seed, da, db)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if !sameInts(a.Placement().Phys, b.Placement().Phys) {
+		t.Fatalf("placements diverged: %v vs %v", a.Placement().Phys, b.Placement().Phys)
+	}
+}

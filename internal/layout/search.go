@@ -1,0 +1,482 @@
+package layout
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"casq/internal/circuit"
+	"casq/internal/device"
+	"casq/internal/qgraph"
+	"casq/internal/sched"
+	"casq/internal/surrogate"
+	"casq/internal/toggling"
+)
+
+// SearchReport is the telemetry of one ChooseWith call: how many candidates
+// the enumeration produced, how many the surrogate let through to exact
+// scoring, the fitted model, and the throughput the benchmarks track.
+type SearchReport struct {
+	// Backend is the parent device's name.
+	Backend string `json:"backend"`
+	// Qubits is the workload width.
+	Qubits int `json:"qubits"`
+	// Enumerated counts candidate mappings after enumeration.
+	Enumerated int `json:"enumerated"`
+	// ExactScored counts candidates that received the full
+	// remap/route/schedule/integrate score.
+	ExactScored int `json:"exact_scored"`
+	// Pruned reports whether the surrogate pruned the candidate list.
+	Pruned bool `json:"pruned"`
+	// PruneRatio is the fraction of enumerated candidates the surrogate
+	// spared from exact scoring (0 on the exhaustive path).
+	PruneRatio float64 `json:"prune_ratio"`
+	// Model is the ridge regression fitted during this search (nil when
+	// pruning was off or fell back).
+	Model *surrogate.Model `json:"-"`
+	// BestExact is the chosen placement's exact score.
+	BestExact float64 `json:"best_exact"`
+	// BestPredicted is the surrogate's estimate for the chosen placement
+	// (0 when no model was fitted).
+	BestPredicted float64 `json:"best_predicted"`
+	// Workers is the exact-scoring pool size used.
+	Workers int `json:"workers"`
+	// ElapsedMS is the wall-clock time of the whole search.
+	ElapsedMS float64 `json:"elapsed_ms"`
+	// CandidatesPerSec is Enumerated divided by the elapsed time — the
+	// effective search throughput including surrogate leverage.
+	CandidatesPerSec float64 `json:"candidates_per_sec"`
+}
+
+// igEdge is one logical interaction pair of the probe circuit.
+type igEdge struct{ a, b int }
+
+// interactionEdges lists the distinct logical pairs coupled by 2q gates.
+func interactionEdges(ig *qgraph.Graph) []igEdge {
+	var out []igEdge
+	for a := 0; a < ig.N; a++ {
+		for _, b := range ig.Neighbors(a) {
+			if b > a {
+				out = append(out, igEdge{a, b})
+			}
+		}
+	}
+	return out
+}
+
+// incidence is one crosstalk edge seen from one endpoint.
+type incidence struct {
+	other int
+	zz    float64
+	nnn   bool
+}
+
+// staticContext caches the per-qubit structures the static filter and the
+// surrogate features read, so evaluating one candidate costs a single pass
+// over its region in ascending qubit order. The fixed order is load-bearing:
+// the old filter iterated a membership map, which made the 1/T2 float sum —
+// and with it the static ranking feeding the TopK cut — run-dependent.
+type staticContext struct {
+	dev    *device.Device
+	inc    [][]incidence
+	invT1  []float64
+	invT2  []float64
+	dist   [][]int // coupling-graph hop distances
+	member []bool
+	region []int  // scratch: sorted copy of the candidate under evaluation
+	keyBuf []byte // scratch: region key assembly
+}
+
+func newStaticContext(dev *device.Device, g *qgraph.Graph) *staticContext {
+	s := &staticContext{
+		dev:    dev,
+		inc:    make([][]incidence, dev.NQubits),
+		invT1:  make([]float64, dev.NQubits),
+		invT2:  make([]float64, dev.NQubits),
+		dist:   g.AllDistances(),
+		member: make([]bool, dev.NQubits),
+	}
+	nn := len(dev.Edges)
+	for i, e := range dev.AllCrosstalkEdges() {
+		zz := dev.ZZ[e]
+		if zz == 0 {
+			continue
+		}
+		isNNN := i >= nn
+		s.inc[e.A] = append(s.inc[e.A], incidence{e.B, zz, isNNN})
+		s.inc[e.B] = append(s.inc[e.B], incidence{e.A, zz, isNNN})
+	}
+	for q := 0; q < dev.NQubits; q++ {
+		if t1 := dev.T1[q]; t1 > 0 {
+			s.invT1[q] = 1e9 / t1
+		}
+		if t2 := dev.T2[q]; t2 > 0 {
+			s.invT2[q] = 1e9 / t2
+		}
+	}
+	return s
+}
+
+// scored is one candidate mapping with its static filter score, surrogate
+// features, boundary ZZ sum (reused by the exact score's boundary
+// penalty), and sorted-region key (diversity bucketing).
+type scored struct {
+	phys       []int
+	score      float64
+	feats      surrogate.Features
+	boundaryZZ float64
+	key        string
+}
+
+// evaluate runs the static pass over one candidate: filter score (ZZ
+// internal to the region, half weight for boundary-crossing edges, plus
+// each member's 1e9/T2) and the surrogate feature vector, all accumulated
+// over the sorted region so the result is bit-stable across runs.
+func (s *staticContext) evaluate(phys []int, ia []igEdge) scored {
+	s.region = append(s.region[:0], phys...)
+	sort.Ints(s.region)
+	for _, p := range s.region {
+		s.member[p] = true
+	}
+	var internal, boundary, nnn, t1s, t2s float64
+	for _, q := range s.region {
+		for _, ie := range s.inc[q] {
+			if s.member[ie.other] {
+				if ie.other > q {
+					internal += ie.zz
+					if ie.nnn {
+						nnn++
+					}
+				}
+			} else {
+				boundary += ie.zz
+			}
+		}
+		t1s += s.invT1[q]
+		t2s += s.invT2[q]
+	}
+	diameter := 0
+	for i, q := range s.region {
+		for _, r := range s.region[i+1:] {
+			if d := s.dist[q][r]; d > diameter {
+				diameter = d
+			}
+		}
+	}
+	swaps := 0.0
+	for _, e := range ia {
+		if d := s.dist[phys[e.a]][phys[e.b]]; d > 1 {
+			swaps += float64(d - 1)
+		}
+	}
+	s.keyBuf = s.keyBuf[:0]
+	for _, p := range s.region {
+		s.member[p] = false
+		s.keyBuf = append(s.keyBuf, byte(p), byte(p>>8))
+	}
+	var f surrogate.Features
+	f[surrogate.FeatInternalZZ] = internal
+	f[surrogate.FeatBoundaryZZ] = boundary
+	f[surrogate.FeatInvT1] = t1s
+	f[surrogate.FeatInvT2] = t2s
+	f[surrogate.FeatNNN] = nnn
+	f[surrogate.FeatDiameter] = float64(diameter)
+	f[surrogate.FeatSwapEst] = swaps
+	return scored{
+		phys:       phys,
+		score:      internal + boundary/2 + t2s,
+		feats:      f,
+		boundaryZZ: boundary,
+		key:        string(s.keyBuf),
+	}
+}
+
+// diverseOrder reorders statically-sorted candidates round-robin across
+// distinct physical regions. The static score is orientation-invariant (it
+// only sees the qubit set), so a cycle region's 24 rotations/reflections
+// sort contiguously and a plain prefix cut would let one region crowd
+// every other out of exact scoring — the exact toggling-frame scorer would
+// never see the regions where the static proxy is wrong (it ignores Stark,
+// scheduling, and the circuit's idling pattern). One orientation per
+// region first, then second orientations, and so on, preserving static
+// order within each round. The same ordering feeds the surrogate's fit
+// batch, so the model trains on distinct regions rather than one region's
+// orientations.
+func diverseOrder(pre []scored) []scored {
+	byRegion := map[string][]scored{}
+	var order []string // regions in first-seen (static score) order
+	for _, c := range pre {
+		if _, seen := byRegion[c.key]; !seen {
+			order = append(order, c.key)
+		}
+		byRegion[c.key] = append(byRegion[c.key], c)
+	}
+	out := make([]scored, 0, len(pre))
+	for round := 0; len(out) < len(pre); round++ {
+		for _, rk := range order {
+			if round < len(byRegion[rk]) {
+				out = append(out, byRegion[rk][round])
+			}
+		}
+	}
+	return out
+}
+
+// scoreCandidates exact-scores the candidates on a worker pool. Results
+// land at the candidate's own index; a candidate whose placement fails
+// (un-routable region) stays nil. Each place call is a pure function of
+// its candidate, so the index-aligned result — and every argmin taken over
+// it in index order — is bit-identical at any worker count.
+func scoreCandidates(dev *device.Device, c *circuit.Circuit, cands []scored, workers int) []*Placement {
+	out := make([]*Placement, len(cands))
+	if workers > len(cands) {
+		workers = len(cands)
+	}
+	if workers <= 1 {
+		for i := range cands {
+			out[i], _ = place(dev, c, cands[i].phys, cands[i].boundaryZZ)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				if pl, err := place(dev, c, cands[i].phys, cands[i].boundaryZZ); err == nil {
+					out[i] = pl
+				}
+			}
+		}()
+	}
+	for i := range cands {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return out
+}
+
+// argmin scans placements in index order, returning the lowest score with
+// ties broken toward the lexicographically smallest mapping.
+func argmin(best *Placement, pls []*Placement) *Placement {
+	for _, pl := range pls {
+		if pl == nil {
+			continue
+		}
+		if best == nil || pl.Score < best.Score ||
+			(pl.Score == best.Score && lexLess(pl.Phys, best.Phys)) {
+			best = pl
+		}
+	}
+	return best
+}
+
+// ChooseWith is Choose plus search telemetry. The search runs in three
+// tiers: static filter + diversity ordering over every enumerated
+// candidate, an online surrogate (fitted on the FitBatch exact scores from
+// this same call) pruning the rest to the ExactTopK best-predicted, and
+// parallel exact scoring of the survivors. The fit batch leads the
+// diversity ordering, so the statically-best orientation of each leading
+// region is always exact-scored regardless of what the surrogate thinks —
+// the argmin is taken over guaranteed-exact scores only, and the model
+// never decides more than which long-shot candidates get a second look.
+func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placement, *SearchReport, error) {
+	opts = opts.withDefaults()
+	start := time.Now()
+	n := c.NQubits
+	if n > dev.NQubits {
+		return nil, nil, fmt.Errorf("layout: circuit needs %d qubits, backend %s has %d", n, dev.Name, dev.NQubits)
+	}
+	ig := interactionGraph(c)
+	g := dev.CouplingGraph()
+	cands := enumerate(dev, g, ig, opts)
+	if len(cands) == 0 {
+		return nil, nil, fmt.Errorf("layout: no %d-qubit embedding found on %s", n, dev.Name)
+	}
+
+	ia := interactionEdges(ig)
+	sctx := newStaticContext(dev, g)
+	pre := make([]scored, len(cands))
+	for i, phys := range cands {
+		pre[i] = sctx.evaluate(phys, ia)
+	}
+	sort.Slice(pre, func(i, j int) bool {
+		if pre[i].score != pre[j].score {
+			return pre[i].score < pre[j].score
+		}
+		return lexLess(pre[i].phys, pre[j].phys)
+	})
+	order := diverseOrder(pre)
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rep := &SearchReport{
+		Backend:    dev.Name,
+		Qubits:     n,
+		Enumerated: len(order),
+		Workers:    workers,
+	}
+
+	var best *Placement
+	prune := !opts.NoSurrogate &&
+		opts.FitBatch >= surrogate.MinSamples &&
+		len(order) > opts.FitBatch+opts.ExactTopK
+	if prune {
+		fitPls := scoreCandidates(dev, c, order[:opts.FitBatch], workers)
+		rep.ExactScored += opts.FitBatch
+		samples := make([]surrogate.Sample, 0, opts.FitBatch)
+		for i, pl := range fitPls {
+			if pl != nil {
+				samples = append(samples, surrogate.Sample{X: order[i].feats, Y: pl.Score})
+			}
+		}
+		model, err := surrogate.Fit(samples, 0)
+		if err == nil {
+			rep.Model = model
+			rest := order[opts.FitBatch:]
+			type pred struct {
+				idx int
+				y   float64
+			}
+			preds := make([]pred, len(rest))
+			for i := range rest {
+				preds[i] = pred{i, model.Predict(rest[i].feats)}
+			}
+			sort.Slice(preds, func(i, j int) bool {
+				if preds[i].y != preds[j].y {
+					return preds[i].y < preds[j].y
+				}
+				return preds[i].idx < preds[j].idx
+			})
+			k := opts.ExactTopK
+			if k > len(preds) {
+				k = len(preds)
+			}
+			top := make([]scored, k)
+			for i := 0; i < k; i++ {
+				top[i] = rest[preds[i].idx]
+			}
+			topPls := scoreCandidates(dev, c, top, workers)
+			rep.ExactScored += k
+			best = argmin(argmin(nil, fitPls), topPls)
+			rep.Pruned = true
+			rep.PruneRatio = 1 - float64(rep.ExactScored)/float64(rep.Enumerated)
+		} else {
+			// Too many finalists failed placement to constrain the ridge
+			// system: fall back to the exhaustive TopK path below.
+			prune = false
+		}
+	}
+	if !prune {
+		k := opts.TopK
+		if k > len(order) {
+			k = len(order)
+		}
+		best = argmin(nil, scoreCandidates(dev, c, order[:k], workers))
+		rep.ExactScored = k
+		rep.Pruned = false
+		rep.PruneRatio = 0
+	}
+	if best == nil {
+		return nil, nil, fmt.Errorf("layout: no candidate embedding of %d qubits on %s survived scoring", n, dev.Name)
+	}
+	rep.BestExact = best.Score
+	if rep.Model != nil {
+		rep.BestPredicted = rep.Model.Predict(sctx.evaluate(best.Phys, ia).feats)
+	}
+	rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	if rep.ElapsedMS > 0 {
+		rep.CandidatesPerSec = float64(rep.Enumerated) / (rep.ElapsedMS / 1e3)
+	}
+	return best, rep, nil
+}
+
+// place materializes one candidate: induced sub-device, remap, route,
+// schedule, exact toggling-frame score plus the boundary penalty —
+// 2*pi*nu*T of potentially uncompensated phase per boundary-crossing ZZ
+// edge, the outside qubit idling for the whole circuit. boundaryZZ is the
+// candidate's boundary-crossing ZZ sum (Hz), precomputed by the static
+// pass.
+func place(dev *device.Device, c *circuit.Circuit, phys []int, boundaryZZ float64) (*Placement, error) {
+	sub, region, err := dev.Induced(dev.Name+"/sub", phys)
+	if err != nil {
+		return nil, err
+	}
+	subIdx := make(map[int]int, len(region))
+	for i, q := range region {
+		subIdx[q] = i
+	}
+	toSub := make([]int, len(phys))
+	for l, p := range phys {
+		toSub[l] = subIdx[p]
+	}
+	mc := Remap(c, toSub, sub.NQubits)
+	routed, _, _, err := RouteCircuit(sub, mc)
+	if err != nil {
+		return nil, err
+	}
+	dur := sched.Schedule(routed, sub)
+	score := toggling.NewScorer(sub).ScoreCircuit(routed) + 2*math.Pi*boundaryZZ*1e-9*dur
+	return &Placement{
+		Backend: dev.Name,
+		Phys:    append([]int(nil), phys...),
+		Region:  region,
+		Sub:     sub,
+		ToSub:   toSub,
+		Score:   score,
+	}, nil
+}
+
+// regionBoundaryZZ sums the ZZ rates crossing the region boundary of an
+// arbitrary mapping — the one-off path for re-scoring a deployed placement
+// outside a search (the search itself gets this from the static pass).
+func regionBoundaryZZ(dev *device.Device, phys []int) float64 {
+	member := make([]bool, dev.NQubits)
+	for _, p := range phys {
+		member[p] = true
+	}
+	s := 0.0
+	for _, e := range dev.AllCrosstalkEdges() {
+		if member[e.A] != member[e.B] {
+			s += dev.ZZ[e]
+		}
+	}
+	return s
+}
+
+// Rescore re-runs the exact score of a known mapping against (possibly
+// drifted) calibration: the same remap/route/schedule/integrate path the
+// search uses, without any search. The drift monitor calls this when the
+// surrogate flags a placement as suspect.
+func Rescore(dev *device.Device, c *circuit.Circuit, phys []int) (*Placement, error) {
+	return place(dev, c, phys, regionBoundaryZZ(dev, phys))
+}
+
+// PathProbe builds the standard probe workload the recompilation service
+// scores layouts against: an n-qubit brickwork line of the given depth
+// (alternating even/odd nearest-neighbor ECR layers behind an initial 1q
+// layer). Its interaction graph is the path 0-1-...-n-1, so layout search
+// enumerates the backend's simple paths natively.
+func PathProbe(n, depth int) *circuit.Circuit {
+	c := circuit.New(n, 0)
+	c.AddLayer(circuit.OneQubitLayer).H(0)
+	for s := 0; s < depth; s++ {
+		even := c.AddLayer(circuit.TwoQubitLayer)
+		for q := 0; q+1 < n; q += 2 {
+			even.ECR(q, q+1)
+		}
+		odd := c.AddLayer(circuit.TwoQubitLayer)
+		for q := 1; q+1 < n; q += 2 {
+			odd.ECR(q, q+1)
+		}
+	}
+	return c
+}

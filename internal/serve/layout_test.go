@@ -1,0 +1,186 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"casq/internal/layout"
+)
+
+// TestLayoutEndpoint pins GET /backends/{id}/layout: first request
+// compiles, the response carries a valid placement with search telemetry,
+// and a repeat request answers from the same monitor (deterministically
+// identical placement, no fresh drift counters).
+func TestLayoutEndpoint(t *testing.T) {
+	ts := newTestServer(t, nil)
+	resp, body := get(t, ts.URL+"/backends/heavyhex29/layout?qubits=4&depth=2")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d: %s", resp.StatusCode, body)
+	}
+	var got layoutBody
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Backend != "heavyhex29" || got.Qubits != 4 || got.Depth != 2 {
+		t.Fatalf("echoed config %s/%d/%d", got.Backend, got.Qubits, got.Depth)
+	}
+	if len(got.Region) != 4 || len(got.Phys) != 4 || got.Score <= 0 {
+		t.Fatalf("placement region=%v phys=%v score=%v", got.Region, got.Phys, got.Score)
+	}
+	if got.Threshold != layout.DefaultRecompileThreshold {
+		t.Fatalf("threshold %v, want default %v", got.Threshold, layout.DefaultRecompileThreshold)
+	}
+	if got.Search == nil || got.Search.Enumerated == 0 || got.Search.ExactScored == 0 {
+		t.Fatalf("search telemetry missing: %+v", got.Search)
+	}
+
+	resp2, body2 := get(t, ts.URL+"/backends/heavyhex29/layout?qubits=4&depth=2")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d", resp2.StatusCode)
+	}
+	var again layoutBody
+	if err := json.Unmarshal(body2, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.Score != got.Score || again.Stats.Drifts != 0 {
+		t.Fatalf("repeat request recompiled or drifted: %+v", again.Stats)
+	}
+}
+
+// TestLayoutEndpointValidation pins the parameter guards.
+func TestLayoutEndpointValidation(t *testing.T) {
+	ts := newTestServer(t, nil)
+	for path, want := range map[string]int{
+		"/backends/nosuch/layout":                http.StatusNotFound,
+		"/backends/heavyhex29/layout?qubit=4":    http.StatusBadRequest,
+		"/backends/heavyhex29/layout?qubits=1":   http.StatusBadRequest,
+		"/backends/heavyhex29/layout?qubits=99":  http.StatusBadRequest,
+		"/backends/heavyhex29/layout?depth=0":    http.StatusBadRequest,
+		"/backends/heavyhex29/layout?qubits=abc": http.StatusBadRequest,
+		"/backends/heavyhex29/layout?qubits=4":   http.StatusOK,
+	} {
+		resp, body := get(t, ts.URL+path)
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d: %s", path, resp.StatusCode, want, body)
+		}
+	}
+}
+
+// postDrift posts one drift event and decodes the response.
+func postDrift(t *testing.T, url, backend string, req driftRequest) (*http.Response, driftBody) {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/backends/"+backend+"/drift", "application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body driftBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, body
+}
+
+// TestDriftEndpoint pins the service loop: small drifts are absorbed
+// without recompiling, the counters accumulate across posts, and the
+// healthz rollup sees the monitor.
+func TestDriftEndpoint(t *testing.T) {
+	ts := newTestServer(t, nil)
+	req := driftRequest{Qubits: 4, Depth: 2, Seed: 5, Drift: 0.01}
+	resp, body := postDrift(t, ts.URL, "heavyhex29", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if body.Decision == nil {
+		t.Fatal("no decision in drift response")
+	}
+	if body.Decision.Recompiled {
+		t.Fatalf("1%% drift recompiled: %+v", body.Decision)
+	}
+	if body.Stats.Drifts != 1 {
+		t.Fatalf("stats after one drift: %+v", body.Stats)
+	}
+	req.Seed = 6
+	if _, body = postDrift(t, ts.URL, "heavyhex29", req); body.Stats.Drifts != 2 {
+		t.Fatalf("stats after two drifts: %+v", body.Stats)
+	}
+
+	_, health := get(t, ts.URL+"/healthz")
+	var h struct {
+		Layouts layoutCounts `json:"layouts"`
+	}
+	if err := json.Unmarshal(health, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Layouts.Monitors != 1 || h.Layouts.Drifts != 2 {
+		t.Fatalf("healthz layout rollup %+v, want 1 monitor / 2 drifts", h.Layouts)
+	}
+}
+
+// TestDriftEndpointValidation pins body and range guards.
+func TestDriftEndpointValidation(t *testing.T) {
+	ts := newTestServer(t, nil)
+	if resp, _ := postDrift(t, ts.URL, "nosuch", driftRequest{Qubits: 4, Depth: 2, Drift: 0.1}); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown backend: status %d", resp.StatusCode)
+	}
+	for _, bad := range []driftRequest{
+		{Qubits: 4, Depth: 2, Drift: 0},    // drift must be positive
+		{Qubits: 4, Depth: 2, Drift: 2},    // beyond the magnitude cap
+		{Qubits: 1, Depth: 2, Drift: 0.1},  // probe too narrow
+		{Qubits: 4, Depth: 99, Drift: 0.1}, // probe too deep
+	} {
+		if resp, _ := postDrift(t, ts.URL, "heavyhex29", bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("request %+v: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	resp, err := http.Post(ts.URL+"/backends/heavyhex29/drift", "application/json",
+		bytes.NewReader([]byte(`{"sede": 1}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestDriftRecompileObservable forces recompilation through the HTTP
+// surface with a tight configured threshold and checks the event is
+// visible in both the decision and the healthz rollup.
+func TestDriftRecompileObservable(t *testing.T) {
+	ts, _ := newTestServerWith(t, nil, Config{SweepWorkers: 1, RecompileThreshold: 1.0001})
+	var recompiled bool
+	var last driftBody
+	for seed := int64(1); seed <= 20 && !recompiled; seed++ {
+		resp, body := postDrift(t, ts.URL, "heavyhex29", driftRequest{Qubits: 4, Depth: 2, Seed: seed, Drift: 0.3})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed %d: status %d", seed, resp.StatusCode)
+		}
+		last = body
+		recompiled = body.Decision.Recompiled
+	}
+	if !recompiled {
+		t.Fatal("compounding 30% drift never recompiled at threshold 1.0001")
+	}
+	if last.Stats.Recompiles < 1 {
+		t.Fatalf("stats %+v, want a recompile", last.Stats)
+	}
+	_, health := get(t, ts.URL+"/healthz")
+	var h struct {
+		Layouts layoutCounts `json:"layouts"`
+	}
+	if err := json.Unmarshal(health, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Layouts.Recompiles < 1 {
+		t.Fatalf("healthz rollup %+v, want >=1 recompile", h.Layouts)
+	}
+}

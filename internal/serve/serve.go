@@ -23,6 +23,15 @@
 //	                         full-device Ramsey probe (seed, shots,
 //	                         instances, fast, strategy, engine); cached,
 //	                         X-Casq-Cache hit or miss
+//	GET  /backends/{id}/layout
+//	                         deployed placement of the standard path probe
+//	                         (qubits, depth): region, exact score, search
+//	                         telemetry, drift-monitor stats; compiled on
+//	                         first request
+//	POST /backends/{id}/drift
+//	                         perturb the monitor's calibration (seed,
+//	                         drift, qubits, depth as JSON) and report the
+//	                         decision: absorbed, exact-checked, recompiled
 //	GET  /figures/{id}       one figure; options via query parameters
 //	                         (seed, shots, instances, maxdepth, fast,
 //	                         backend, engine); X-Casq-Cache hit or miss
@@ -107,6 +116,11 @@ type Config struct {
 	// DrainTimeout bounds Close's wait for in-flight sweeps
 	// (0 = DefaultDrainTimeout, <0 = do not wait).
 	DrainTimeout time.Duration
+	// RecompileThreshold tunes the drift monitors behind
+	// /backends/{id}/drift: a drifted placement is recompiled when its
+	// exact score exceeds this ratio of the deployed baseline
+	// (0 = layout.DefaultRecompileThreshold).
+	RecompileThreshold float64
 }
 
 // runHandle abstracts a scheduled sweep; the in-process sweep.Run and
@@ -148,6 +162,13 @@ type Server struct {
 	seq      int
 	draining bool
 	requests map[string]uint64 // per-endpoint request counters
+
+	// Drift-monitor registry behind /backends/{id}/layout and /drift,
+	// under its own lock: monitor compiles and drift decisions run layout
+	// searches and must not stall the sweep/figure surfaces.
+	layoutMu           sync.Mutex
+	layouts            map[string]*layoutRecord
+	recompileThreshold float64
 
 	closeOnce sync.Once
 }
@@ -205,6 +226,9 @@ func NewWith(cfg Config) *Server {
 		cancel:   cancel,
 		sweeps:   map[string]*sweepRecord{},
 		requests: map[string]uint64{},
+
+		layouts:            map[string]*layoutRecord{},
+		recompileThreshold: cfg.RecompileThreshold,
 	}
 }
 
@@ -245,6 +269,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /experiments", s.counted("experiments", s.handleExperiments))
 	mux.HandleFunc("GET /backends", s.counted("backends", s.handleBackends))
 	mux.HandleFunc("GET /backends/{id}/correlations", s.counted("backends.correlations", s.handleCorrelations))
+	mux.HandleFunc("GET /backends/{id}/layout", s.counted("backends.layout", s.handleLayout))
+	mux.HandleFunc("POST /backends/{id}/drift", s.counted("backends.drift", s.handleDrift))
 	mux.HandleFunc("GET /figures/{id}", s.counted("figures", s.handleFigure))
 	mux.HandleFunc("POST /sweeps", s.counted("sweeps.submit", s.handleSweepSubmit))
 	mux.HandleFunc("GET /sweeps", s.counted("sweeps.list", s.handleSweepList))
@@ -821,6 +847,7 @@ type health struct {
 	Store    interface{}       `json:"store"`
 	Requests map[string]uint64 `json:"requests"`
 	Sweeps   sweepCounts       `json:"sweeps"`
+	Layouts  layoutCounts      `json:"layouts"`
 	Fabric   *fabric.Stats     `json:"fabric,omitempty"`
 }
 
@@ -850,6 +877,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	body.Store = s.cache.Store.Stats()
+	body.Layouts = s.layoutStats()
 	if s.coord != nil {
 		st := s.coord.Stats()
 		body.Fabric = &st

@@ -1,0 +1,216 @@
+// Package surrogate fits a cheap deterministic noise-prediction model over
+// layout candidates: a ridge regression from static per-candidate features
+// (region ZZ sums, coherence rates, collision counts, routing estimates) to
+// the exact toggling-frame predicted error, in the spirit of learned noise
+// predictors (Zlokapa & Gheorghiu). The layout search labels a small batch
+// of candidates with the exact scorer, fits the model online, and uses its
+// predictions to prune the remaining candidates 10-100x before any further
+// exact scoring — the model never replaces the exact score of the chosen
+// placement, it only decides which candidates deserve one.
+//
+// Everything is bit-deterministic: the fit solves the ridge normal
+// equations by Gaussian elimination with partial pivoting in fixed feature
+// order, so identical samples produce identical weights on every run and
+// at any worker count.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+)
+
+// NumFeatures is the fixed width of a candidate feature vector.
+const NumFeatures = 7
+
+// Feature indices of a candidate vector, in canonical order.
+const (
+	FeatInternalZZ = iota // sum of ZZ rates internal to the region (Hz)
+	FeatBoundaryZZ        // sum of ZZ rates crossing the region boundary (Hz)
+	FeatInvT1             // sum over members of 1e9/T1 (Hz)
+	FeatInvT2             // sum over members of 1e9/T2 (Hz)
+	FeatNNN               // count of NNN collision edges inside the region
+	FeatDiameter          // region diameter in coupling-graph hops
+	FeatSwapEst           // estimated routing SWAPs (sum of interaction distances - 1)
+)
+
+// FeatureNames labels the canonical feature order for reports.
+var FeatureNames = [NumFeatures]string{
+	"internal_zz", "boundary_zz", "inv_t1", "inv_t2", "nnn", "diameter", "swap_est",
+}
+
+// Features is one candidate's feature vector.
+type Features [NumFeatures]float64
+
+// Sample is one exact-labelled training point: the feature vector of a
+// candidate and the exact predicted error the full scorer assigned it.
+type Sample struct {
+	X Features
+	Y float64
+}
+
+// Model is a fitted ridge regression over standardized features. The zero
+// value is not usable; obtain one from Fit.
+type Model struct {
+	mean  Features // per-feature mean of the fit set
+	scale Features // per-feature std-dev (1 where degenerate)
+	w     Features // weights in standardized space
+	bias  float64  // mean label
+
+	// Lambda is the ridge penalty the model was fitted with.
+	Lambda float64
+	// N is the number of training samples.
+	N int
+	// RMSE is the in-sample root-mean-square residual of the fit — the
+	// honest noise floor a pruning tolerance must respect.
+	RMSE float64
+}
+
+// MinSamples is the smallest fit set Fit accepts: one more than the
+// feature count, so the ridge system is at least minimally constrained.
+const MinSamples = NumFeatures + 1
+
+// DefaultLambda is the standard ridge penalty (features are standardized,
+// so it is scale-free).
+const DefaultLambda = 1e-2
+
+// Fit trains a ridge regression on the samples: features are standardized
+// (zero mean, unit variance per feature over the fit set), the label mean
+// becomes the intercept, and the weights solve
+//
+//	(X'X + lambda*N*I) w = X'y
+//
+// by Gaussian elimination with partial pivoting. lambda <= 0 takes
+// DefaultLambda. Fitting fewer than MinSamples samples is an error.
+func Fit(samples []Sample, lambda float64) (*Model, error) {
+	n := len(samples)
+	if n < MinSamples {
+		return nil, fmt.Errorf("surrogate: %d samples, need at least %d", n, MinSamples)
+	}
+	if lambda <= 0 {
+		lambda = DefaultLambda
+	}
+	m := &Model{Lambda: lambda, N: n}
+
+	// Standardize: per-feature mean and std-dev over the fit set.
+	for _, s := range samples {
+		for j := 0; j < NumFeatures; j++ {
+			m.mean[j] += s.X[j]
+		}
+		m.bias += s.Y
+	}
+	for j := 0; j < NumFeatures; j++ {
+		m.mean[j] /= float64(n)
+	}
+	m.bias /= float64(n)
+	for _, s := range samples {
+		for j := 0; j < NumFeatures; j++ {
+			d := s.X[j] - m.mean[j]
+			m.scale[j] += d * d
+		}
+	}
+	for j := 0; j < NumFeatures; j++ {
+		m.scale[j] = math.Sqrt(m.scale[j] / float64(n))
+		if m.scale[j] == 0 {
+			m.scale[j] = 1 // constant feature: standardizes to 0, weight inert
+		}
+	}
+
+	// Normal equations over standardized features and centered labels.
+	var ata [NumFeatures][NumFeatures]float64
+	var aty Features
+	for _, s := range samples {
+		var z Features
+		for j := 0; j < NumFeatures; j++ {
+			z[j] = (s.X[j] - m.mean[j]) / m.scale[j]
+		}
+		yc := s.Y - m.bias
+		for j := 0; j < NumFeatures; j++ {
+			aty[j] += z[j] * yc
+			for k := j; k < NumFeatures; k++ {
+				ata[j][k] += z[j] * z[k]
+			}
+		}
+	}
+	ridge := lambda * float64(n)
+	for j := 0; j < NumFeatures; j++ {
+		for k := 0; k < j; k++ {
+			ata[j][k] = ata[k][j]
+		}
+		ata[j][j] += ridge
+	}
+	w, err := solve(ata, aty)
+	if err != nil {
+		return nil, err
+	}
+	m.w = w
+
+	var sse float64
+	for _, s := range samples {
+		r := m.Predict(s.X) - s.Y
+		sse += r * r
+	}
+	m.RMSE = math.Sqrt(sse / float64(n))
+	return m, nil
+}
+
+// Predict returns the model's error estimate for one feature vector.
+func (m *Model) Predict(x Features) float64 {
+	y := m.bias
+	for j := 0; j < NumFeatures; j++ {
+		y += m.w[j] * (x[j] - m.mean[j]) / m.scale[j]
+	}
+	return y
+}
+
+// Weights returns the fitted weights mapped back to raw feature units
+// (dy per unit of feature j), for reports.
+func (m *Model) Weights() Features {
+	var out Features
+	for j := 0; j < NumFeatures; j++ {
+		out[j] = m.w[j] / m.scale[j]
+	}
+	return out
+}
+
+// solve runs Gaussian elimination with partial pivoting on the fixed-size
+// ridge system. The pivot choice is deterministic (largest magnitude,
+// lowest index on ties), so identical inputs give bit-identical solutions.
+func solve(a [NumFeatures][NumFeatures]float64, b Features) (Features, error) {
+	const d = NumFeatures
+	for col := 0; col < d; col++ {
+		piv := col
+		for r := col + 1; r < d; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if a[piv][col] == 0 {
+			return Features{}, fmt.Errorf("surrogate: singular ridge system at column %d", col)
+		}
+		if piv != col {
+			a[piv], a[col] = a[col], a[piv]
+			b[piv], b[col] = b[col], b[piv]
+		}
+		inv := 1 / a[col][col]
+		for r := col + 1; r < d; r++ {
+			f := a[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			a[r][col] = 0
+			for k := col + 1; k < d; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	var x Features
+	for r := d - 1; r >= 0; r-- {
+		s := b[r]
+		for k := r + 1; k < d; k++ {
+			s -= a[r][k] * x[k]
+		}
+		x[r] = s / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,145 @@
+package surrogate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// linearSamples draws n samples from a known linear function plus optional
+// noise, with feature scales deliberately spanning orders of magnitude so
+// the test exercises standardization.
+func linearSamples(rng *rand.Rand, n int, noise float64) ([]Sample, Features, float64) {
+	truth := Features{2e-5, 1e-5, 3e-4, 8e-4, 0.02, 0.005, 0.15}
+	const bias = 0.3
+	out := make([]Sample, n)
+	for i := range out {
+		var x Features
+		x[FeatInternalZZ] = rng.Float64() * 400e3
+		x[FeatBoundaryZZ] = rng.Float64() * 600e3
+		x[FeatInvT1] = 3e3 + rng.Float64()*4e3
+		x[FeatInvT2] = 4e3 + rng.Float64()*6e3
+		x[FeatNNN] = float64(rng.Intn(4))
+		x[FeatDiameter] = float64(2 + rng.Intn(8))
+		x[FeatSwapEst] = float64(rng.Intn(6))
+		y := bias
+		for j := 0; j < NumFeatures; j++ {
+			y += truth[j] * x[j]
+		}
+		y += noise * rng.NormFloat64()
+		out[i] = Sample{X: x, Y: y}
+	}
+	return out, truth, bias
+}
+
+// TestFitRecoversLinearFunction pins that a noiseless linear labelling is
+// recovered to high accuracy despite wildly different feature scales: the
+// whole point of the surrogate is to rank candidates whose score is nearly
+// linear in these features.
+func TestFitRecoversLinearFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	samples, _, _ := linearSamples(rng, 64, 0)
+	m, err := Fit(samples, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _, _ := linearSamples(rand.New(rand.NewSource(2)), 32, 0)
+	for _, s := range probe {
+		got := m.Predict(s.X)
+		if rel := math.Abs(got-s.Y) / math.Abs(s.Y); rel > 1e-4 {
+			t.Fatalf("prediction %.6g for label %.6g (rel err %.2g)", got, s.Y, rel)
+		}
+	}
+	if m.RMSE > 1e-6 {
+		t.Errorf("noiseless fit RMSE %.3g, want ~0", m.RMSE)
+	}
+}
+
+// TestFitRanksUnderNoise checks the pruning contract under label noise:
+// exact recovery is impossible, but the model must still rank a clearly
+// better candidate below a clearly worse one.
+func TestFitRanksUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples, truth, bias := linearSamples(rng, 48, 0.05)
+	m, err := Fit(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := Features{10e3, 20e3, 3.2e3, 4.5e3, 0, 2, 0}
+	hi := Features{380e3, 550e3, 6.8e3, 9.5e3, 3, 9, 5}
+	yOf := func(x Features) float64 {
+		y := bias
+		for j := 0; j < NumFeatures; j++ {
+			y += truth[j] * x[j]
+		}
+		return y
+	}
+	if yOf(lo) >= yOf(hi) {
+		t.Fatal("fixture broken: lo should be the better candidate")
+	}
+	if m.Predict(lo) >= m.Predict(hi) {
+		t.Errorf("model ranks lo (%.4f) above hi (%.4f)", m.Predict(lo), m.Predict(hi))
+	}
+}
+
+// TestFitDeterministic pins bit-identical refits: the layout search refits
+// the model inside every Choose call and its decisions must not drift
+// between runs or worker counts.
+func TestFitDeterministic(t *testing.T) {
+	samples, _, _ := linearSamples(rand.New(rand.NewSource(5)), 24, 0.02)
+	a, err := Fit(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(append([]Sample(nil), samples...), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _, _ := linearSamples(rand.New(rand.NewSource(6)), 16, 0)
+	for _, s := range probe {
+		pa, pb := a.Predict(s.X), b.Predict(s.X)
+		if pa != pb {
+			t.Fatalf("non-deterministic refit: %v vs %v", pa, pb)
+		}
+	}
+	if a.RMSE != b.RMSE {
+		t.Fatalf("non-deterministic RMSE: %v vs %v", a.RMSE, b.RMSE)
+	}
+}
+
+// TestFitDegenerateFeatures checks constant features do not blow up the
+// solve: their standardized column is zero and the ridge keeps the system
+// nonsingular.
+func TestFitDegenerateFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples, _, _ := linearSamples(rng, 32, 0)
+	for i := range samples {
+		samples[i].X[FeatNNN] = 2 // constant across the fit set
+		samples[i].X[FeatSwapEst] = 0
+	}
+	m, err := Fit(samples, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := m.Predict(samples[0].X)
+	if math.IsNaN(p) || math.IsInf(p, 0) {
+		t.Fatalf("degenerate features produced %v", p)
+	}
+	w := m.Weights()
+	for _, j := range []int{FeatNNN, FeatSwapEst} {
+		if w[j] != 0 {
+			t.Errorf("constant feature %s got nonzero raw weight %v", FeatureNames[j], w[j])
+		}
+	}
+}
+
+// TestFitRejectsTinySets pins the MinSamples floor.
+func TestFitRejectsTinySets(t *testing.T) {
+	samples, _, _ := linearSamples(rand.New(rand.NewSource(8)), MinSamples-1, 0)
+	if _, err := Fit(samples, 0); err == nil {
+		t.Fatal("fit below MinSamples must error")
+	}
+	if _, err := Fit(nil, 0); err == nil {
+		t.Fatal("empty fit must error")
+	}
+}
