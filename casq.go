@@ -16,6 +16,7 @@ import (
 	"casq/internal/experiments"
 	"casq/internal/fabric"
 	"casq/internal/layout"
+	"casq/internal/obs"
 	"casq/internal/pass"
 	"casq/internal/sched"
 	"casq/internal/serve"
@@ -178,6 +179,37 @@ type (
 	// FabricStats snapshots the coordinator's queue and fleet counters.
 	FabricStats = fabric.Stats
 )
+
+// Observability: the dependency-free metrics registry and span tracer
+// behind GET /metrics and `casq -trace`.
+type (
+	// ObsRegistry is a concurrent metrics registry — sharded counters,
+	// gauges, fixed-bucket latency histograms — rendered in Prometheus
+	// text exposition format.
+	ObsRegistry = obs.Registry
+	// Tracer records timing spans across compile passes, executor
+	// instances, engine shot blocks, and sweep cells. A nil *Tracer is
+	// the canonical disabled tracer: every operation on it is a
+	// zero-allocation no-op, so hot paths thread it unconditionally.
+	Tracer = obs.Tracer
+	// TraceSpan is an open span handle (a value type; End records it).
+	TraceSpan = obs.Span
+	// TraceEvent is one completed span on a tracer's monotonic clock.
+	TraceEvent = obs.TraceEvent
+	// PromSample is one parsed Prometheus exposition line (name, labels,
+	// value), as returned by ParseProm over a /metrics scrape.
+	PromSample = obs.Sample
+)
+
+// NewTracer returns an enabled span tracer; write its spans with
+// Tracer.WriteChromeTrace (the `casq -trace out.json` format, loadable
+// in chrome://tracing or Perfetto).
+func NewTracer() *Tracer { return obs.NewTracer() }
+
+// MetricsRegistry returns the process-wide default metrics registry the
+// engine layers (store, exec, layout, sweep, fabric) record into; `casq
+// serve` appends it to GET /metrics after its per-server registry.
+func MetricsRegistry() *ObsRegistry { return obs.Default() }
 
 // Error-correlation spectroscopy: two-point statistics of outcome flips,
 // estimated word-parallel from packed bit planes.

@@ -11,9 +11,10 @@
 //	casq -workload ising -backend heavyhex127 -strategy ca-dd
 //	casq -workload ising -backend heavyhex127 -layout-report
 //	casq -spec fig8 -backend eagle127 -engine stab [-full] [-shots N]
+//	casq -spec fig8 -backend eagle127 -engine stab -trace out.json
 //	casq -spec figC1 -backend eagle127 -engine stab
 //	casq -list
-//	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]
+//	casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N] [-pprof]
 //	casq fabric coordinator [-addr host:port] [-store dir] [-lease-ttl D]
 //	casq fabric worker [-coordinator url] [-slots N]
 //
@@ -35,7 +36,11 @@
 // of milliseconds). The figC1/figC2 specs are the error-correlation
 // spectroscopy companions: `casq -spec figC1 -backend eagle127 -engine
 // stab` estimates the full 8001-pair flip-correlation matrix per strategy
-// from the packed outcome planes and reports its distance-binned decay. Run `casq -list` for the workload, strategy, pass, engine,
+// from the packed outcome planes and reports its distance-binned decay.
+// The -trace flag records every compile pass, layout tier, executor
+// instance, and engine block as spans and writes them as Chrome
+// trace-event JSON — open the file in chrome://tracing or Perfetto to see
+// where the wall time went. Run `casq -list` for the workload, strategy, pass, engine,
 // and backend vocabularies (including which engines can run each backend
 // at full scale). Experiment-level parallelism lives in the
 // sibling experiments command (its -workers flag sets the unified worker
@@ -70,6 +75,7 @@ import (
 	"casq/internal/experiments"
 	"casq/internal/layout"
 	"casq/internal/models"
+	"casq/internal/obs"
 	"casq/internal/pass"
 	"casq/internal/surrogate"
 	"casq/internal/twirl"
@@ -212,13 +218,14 @@ func runLayoutReport(backend, workload string, circ *circuit.Circuit) {
 // The bit-plane stabilizer engine advances 64 shots per word operation, so
 // raising -shots to 10^5 costs tens of milliseconds per circuit, not
 // seconds.
-func runSpec(id, backend, engine string, full bool, shots int, seed int64, seedSet bool) {
+func runSpec(id, backend, engine string, full bool, shots int, seed int64, seedSet bool, tracer *obs.Tracer) {
 	opts := experiments.FastOptions()
 	if full {
 		opts = experiments.DefaultOptions()
 	}
 	opts.Backend = backend
 	opts.Engine = engine
+	opts.Tracer = tracer
 	if shots > 0 {
 		opts.Shots = shots
 	}
@@ -233,6 +240,30 @@ func runSpec(id, backend, engine string, full bool, shots int, seed int64, seedS
 	}
 	fmt.Print(fig.Render())
 	fmt.Printf("(%s in %.1fs)\n", id, time.Since(start).Seconds())
+}
+
+// writeTrace writes the recorded spans as a Chrome trace-event JSON file
+// (load it in chrome://tracing or https://ui.perfetto.dev). A no-op when
+// -trace was not given.
+func writeTrace(path string, tr *obs.Tracer) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "trace: wrote %d spans to %s\n", len(tr.Events()), path)
 }
 
 func main() {
@@ -256,6 +287,7 @@ func main() {
 		steps    = flag.Int("steps", 2, "workload depth")
 		seed     = flag.Int64("seed", 7, "twirl seed (compile demo) / experiment seed override (-spec)")
 		draw     = flag.Bool("draw", false, "render the compiled circuit as ASCII")
+		tracePth = flag.String("trace", "", "write compile/engine spans as a Chrome trace-event file (open in chrome://tracing or Perfetto)")
 		list     = flag.Bool("list", false, "list workloads, strategies, passes, engines and backends")
 		layRep   = flag.Bool("layout-report", false, "report the layout search for -workload on -backend (region, surrogate vs exact scores, pruning ratio) and exit")
 	)
@@ -273,6 +305,10 @@ func main() {
 		}
 		return
 	}
+	var tracer *obs.Tracer
+	if *tracePth != "" {
+		tracer = obs.NewTracer()
+	}
 	if *spec != "" {
 		seedSet := false
 		flag.Visit(func(f *flag.Flag) {
@@ -280,7 +316,8 @@ func main() {
 				seedSet = true
 			}
 		})
-		runSpec(*spec, *backend, *engine, *full, *shots, *seed, seedSet)
+		runSpec(*spec, *backend, *engine, *full, *shots, *seed, seedSet, tracer)
+		writeTrace(*tracePth, tracer)
 		return
 	}
 	wf, ok := workloads[*workload]
@@ -324,11 +361,13 @@ func main() {
 		pl = pass.New(pl.Name+"@"+*backend,
 			append([]pass.Pass{layout.Select(layout.DefaultOptions()), layout.Route()}, pl.Passes...)...)
 	}
-	compiled, rep, err := pl.Apply(dev, rand.New(rand.NewSource(*seed)), circ)
+	compiled, rep, err := pl.ApplyContext(
+		&pass.Context{Dev: dev, Rng: rand.New(rand.NewSource(*seed)), Tracer: tracer}, circ)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	writeTrace(*tracePth, tracer)
 	fmt.Printf("workload %s on %s (%d qubits), pipeline %s\n", *workload, dev.Name, dev.NQubits, pl)
 	fmt.Printf("compiled: %d layers, duration %.0f ns\n", compiled.Depth(), rep.Duration)
 	if rep.Layout != nil {

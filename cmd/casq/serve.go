@@ -30,6 +30,7 @@ func hardeningFlags(fs *flag.FlagSet) func(*serve.Config) {
 		drainT = fs.Duration("drain", 0, "shutdown wait for in-flight sweeps (0 = default, <0 = none)")
 		thresh = fs.Float64("recompile-threshold", 0,
 			"drift monitors recompile when the exact score exceeds this ratio of the deployed baseline (0 = default 1.25)")
+		pprofOn = fs.Bool("pprof", false, "mount net/http/pprof profiling under /debug/pprof/ (off by default)")
 	)
 	return func(cfg *serve.Config) {
 		cfg.FigureRPS = *rps
@@ -38,6 +39,7 @@ func hardeningFlags(fs *flag.FlagSet) func(*serve.Config) {
 		cfg.HistoryTTL = *ttl
 		cfg.DrainTimeout = *drainT
 		cfg.RecompileThreshold = *thresh
+		cfg.PProf = *pprofOn
 	}
 }
 
@@ -80,7 +82,7 @@ func serveMain(args []string) {
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: casq serve [-addr host:port] [-store dir] [-mem N] [-sweep-workers N]\n"+
 			"                  [-figure-rps R] [-figure-burst N] [-max-sweeps N] [-history-ttl D] [-drain D]\n"+
-			"                  [-recompile-threshold R]\n\n")
+			"                  [-recompile-threshold R] [-pprof]\n\n")
 		fs.PrintDefaults()
 		fmt.Fprintf(fs.Output(), `
 endpoints:
@@ -94,6 +96,8 @@ endpoints:
   GET  /sweeps/{id}        sweep progress
   GET  /sweeps/{id}/events SSE progress stream
   GET  /healthz            liveness + store/request/fleet counters
+  GET  /metrics            Prometheus text exposition (request, store, exec, layout, sweep, fabric)
+  GET  /debug/pprof/       profiling handlers (only with -pprof)
 
 The first request for a figure computes and checkpoints it; repeats are
 served from the store bit-identically (X-Casq-Cache: hit). To shard

@@ -16,9 +16,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"casq/internal/circuit"
 	"casq/internal/device"
+	"casq/internal/obs"
 	"casq/internal/pass"
 	"casq/internal/sim"
 	"casq/internal/stab"
@@ -132,6 +134,12 @@ type RunOptions struct {
 	// agree within sampling error — and to the statevector kernel
 	// otherwise. The resolved engine is recorded in each instance Report.
 	Engine string
+	// Tracer records job/instance/pass/engine spans for this execution;
+	// nil (the default) disables tracing at zero cost. Instance k's spans
+	// render on lane k+1, and TraceID (when non-zero) stamps every span
+	// so cross-process aggregation can group them.
+	Tracer  *obs.Tracer
+	TraceID uint64
 }
 
 // Job is one unit of executor work.
@@ -256,9 +264,23 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 
 	workers, simWorkers := workerBudget(ro.Workers, ro.Instances, runtime.GOMAXPROCS(0))
 
+	mJobs.Inc()
+	jobSpan := ro.Tracer.Start("exec.job").WithTrace(ro.TraceID)
+	defer jobSpan.End()
+
 	runInstance := func(k int) (instanceOut, error) {
+		instStart := time.Now()
+		instSpan := ro.Tracer.Start("exec.instance").WithLane(k + 1).WithTrace(ro.TraceID)
+		defer func() {
+			instSpan.End()
+			mInstances.Inc()
+			mInstanceSeconds.Observe(time.Since(instStart).Seconds())
+		}()
 		rng := rand.New(rand.NewSource(InstanceSeed(ro.Seed, k)))
-		compiled, rep, err := e.Pipeline.ApplyForEngine(e.Dev, rng, job.Circuit, ro.Engine)
+		compiled, rep, err := e.Pipeline.ApplyContext(&pass.Context{
+			Dev: e.Dev, Rng: rng, Engine: ro.Engine,
+			Tracer: ro.Tracer, Lane: k + 1,
+		}, job.Circuit)
 		if err != nil {
 			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
 		}
@@ -274,6 +296,7 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 			cfg.Shots++
 		}
 		cfg.Seed = ro.Cfg.Seed + int64(k)*101
+		cfg.Tracer, cfg.Lane = ro.Tracer, k+1
 		r, engine, err := resolveEngine(e.Dev, cfg, ro.Engine, compiled)
 		if err != nil {
 			return instanceOut{}, fmt.Errorf("exec: instance %d: %w", k, err)
@@ -416,6 +439,7 @@ func (e *Executor) Run(ctx context.Context, job Job) (Result, error) {
 			res.ExpVals[i] /= float64(res.Shots)
 		}
 	}
+	mShots.Add(uint64(res.Shots))
 	return res, nil
 }
 

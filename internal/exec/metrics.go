@@ -1,0 +1,19 @@
+package exec
+
+import (
+	"casq/internal/obs"
+)
+
+// Process-wide executor metrics on the obs default registry, exposed by
+// `casq serve` on GET /metrics. Children are package vars so the job
+// path pays only atomic adds.
+var (
+	mJobs = obs.Default().Counter("casq_exec_jobs_total",
+		"Executor jobs run (one per figure point or sweep cell execution).")
+	mInstances = obs.Default().Counter("casq_exec_instances_total",
+		"Twirl instances compiled and simulated across all jobs.")
+	mShots = obs.Default().Counter("casq_exec_shots_total",
+		"Simulator shots executed across all jobs.")
+	mInstanceSeconds = obs.Default().Histogram("casq_exec_instance_seconds",
+		"Wall time of one twirl instance (compile + simulate).", nil)
+)

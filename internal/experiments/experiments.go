@@ -24,6 +24,8 @@ import (
 	"sort"
 	"strings"
 	"unicode/utf8"
+
+	"casq/internal/obs"
 )
 
 // Series is one labeled curve.
@@ -134,6 +136,11 @@ type Options struct {
 	// full-scale 127-qubit devices), or "auto" (per-instance dispatch).
 	// fig8 with a full-device Backend defaults to "auto".
 	Engine string
+	// Tracer records compile/execute spans for this run; nil (the
+	// default) disables tracing at zero cost. Excluded from JSON so the
+	// content-addressed store fingerprint of a request — and the sweep
+	// wire format — is independent of whether tracing is on.
+	Tracer *obs.Tracer `json:"-"`
 }
 
 // DefaultOptions is the full-quality configuration used to produce

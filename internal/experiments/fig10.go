@@ -37,7 +37,7 @@ func Fig10Combined(sp Spec, opts Options) (Figure, error) {
 			cfg.Shots = opts.Shots * 2
 			cfg.Seed = opts.Seed + int64(d)*31
 			res, err := ex.Counts(context.Background(), c,
-				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine})
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 			if err != nil {
 				return fig, fmt.Errorf("fig10/%s: %w", pl.Name, err)
 			}

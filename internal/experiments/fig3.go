@@ -44,7 +44,7 @@ func ramseyFidelity(dev *device.Device, rc models.RamseyCase, st ramseyStrategy,
 	cfg.Seed = opts.Seed + int64(d)*7
 	cfg.EnableReadoutErr = false // Ramsey plots are readout-corrected
 	vals, err := ex.Expectations(context.Background(), spec.Circuit, obs,
-		exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine})
+		exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 	if err != nil {
 		return 0, err
 	}

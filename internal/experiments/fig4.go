@@ -185,7 +185,7 @@ func Fig4cNNN(sp Spec, opts Options) (Figure, error) {
 			cfg.EnableReadoutErr = false
 			vals, err := ex.Expectations(context.Background(), c,
 				[]sim.ObsSpec{{0: 'X'}, {1: 'X'}, {2: 'X'}},
-				exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed, Cfg: cfg, Engine: opts.Engine})
+				exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed, Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 			if err != nil {
 				return fig, fmt.Errorf("fig4c/%s: %w", st.label, err)
 			}

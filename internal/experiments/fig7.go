@@ -89,7 +89,7 @@ func Fig7cHeisenberg(sp Spec, opts Options) (Figure, error) {
 			cfg.Seed = opts.Seed + int64(d)*23
 			cfg.EnableReadoutErr = false
 			vals, err := ex.Expectations(context.Background(), c, obs,
-				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine})
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(d), Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 			if err != nil {
 				return fig, fmt.Errorf("fig7c/%s: %w", pl.Name, err)
 			}

@@ -80,6 +80,7 @@ func Fig8LayerFidelity(sp Spec, opts Options) (Figure, error) {
 	lfOpts.Instances = opts.Instances
 	lfOpts.Workers = opts.Workers
 	lfOpts.Engine = engine
+	lfOpts.Tracer = opts.Tracer
 	lfOpts.Shots = max(8, opts.Shots/4)
 	lfOpts.Depths = nil
 	for _, v := range sp.AxisValues("lf_depth", opts) {

@@ -38,7 +38,7 @@ func Fig9Dynamic(sp Spec, opts Options) (Figure, error) {
 		cfg.Shots = opts.Shots * 4
 		cfg.Seed = opts.Seed + seedOff
 		res, err := ex.Counts(context.Background(), c,
-			exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + seedOff, Cfg: cfg, Engine: opts.Engine})
+			exec.RunOptions{Instances: 1, Workers: opts.Workers, Seed: opts.Seed + seedOff, Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 		if err != nil {
 			return 0, err
 		}

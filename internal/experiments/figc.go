@@ -115,6 +115,7 @@ func correlMatrix(dev *device.Device, st core.Strategy, depth int, tau float64, 
 		Seed:      opts.Seed + int64(depth*977) + int64(tau)*3,
 		Cfg:       cfg,
 		Engine:    correlEngine(opts.Engine, dev),
+		Tracer:    opts.Tracer,
 	}})
 	if err != nil {
 		return correl.Matrix{}, fmt.Errorf("correl/%s: %w", st.Name, err)

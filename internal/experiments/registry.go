@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"casq/internal/exec"
+	"casq/internal/obs"
 )
 
 // Runner regenerates one figure/table. It receives the experiment's own
@@ -300,5 +301,10 @@ func Run(id string, opts Options) (Figure, error) {
 		}
 		return sp.Derive(sp, base, opts)
 	}
+	var span obs.Span
+	if opts.Tracer.Enabled() {
+		span = opts.Tracer.Start("experiment:" + id)
+	}
+	defer span.End()
 	return sp.Run(sp, opts)
 }

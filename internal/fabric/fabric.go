@@ -29,6 +29,7 @@ import (
 	"sync"
 	"time"
 
+	"casq/internal/obs"
 	"casq/internal/store"
 	"casq/internal/sweep"
 )
@@ -142,11 +143,13 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Sweep, error) {
 	sw := &Sweep{
 		c:         c,
 		cells:     cells,
+		traceID:   obs.NextTraceID(),
 		states:    make([]sweep.CellState, len(cells)),
 		remaining: len(cells),
 		watch:     make(chan struct{}),
 		done:      make(chan struct{}),
 	}
+	sweep.RecordRun()
 	for i := range sw.states {
 		sw.states[i] = sweep.CellPending
 	}
@@ -162,14 +165,16 @@ func (c *Coordinator) Submit(spec sweep.Spec) (*Sweep, error) {
 	return sw, nil
 }
 
-// claim hands the oldest pending cell to a worker under a fresh lease.
-// The bool is false when no work is available right now.
-func (c *Coordinator) claim(worker string, now time.Time) (string, sweep.Cell, bool) {
+// claim hands the oldest pending cell to a worker under a fresh lease,
+// along with the owning sweep's trace id (which the worker stamps on its
+// spans). The bool is false when no work is available right now.
+func (c *Coordinator) claim(worker string, now time.Time) (string, sweep.Cell, uint64, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.expireLocked(now)
 	c.workers[worker] = now
 	c.claims++
+	mClaims.Inc()
 	for len(c.queue) > 0 {
 		ref := c.queue[0]
 		c.queue = c.queue[1:]
@@ -178,12 +183,13 @@ func (c *Coordinator) claim(worker string, now time.Time) (string, sweep.Cell, b
 		}
 		ref.sw.states[ref.idx] = sweep.CellLeased
 		ref.sw.notifyLocked()
+		sweep.RecordCellState(sweep.CellLeased)
 		c.seq++
 		id := fmt.Sprintf("lease-%d", c.seq)
 		c.leases[id] = &lease{ref: ref, worker: worker, expiry: now.Add(c.leaseTTL)}
-		return id, ref.sw.cells[ref.idx], true
+		return id, ref.sw.cells[ref.idx], ref.sw.traceID, true
 	}
-	return "", sweep.Cell{}, false
+	return "", sweep.Cell{}, 0, false
 }
 
 // heartbeat extends a lease; ErrLeaseGone means the worker lost it (the
@@ -199,6 +205,7 @@ func (c *Coordinator) heartbeat(leaseID string, now time.Time) error {
 	l.expiry = now.Add(c.leaseTTL)
 	c.workers[l.worker] = now
 	c.heartbeats++
+	mHeartbeats.Inc()
 	return nil
 }
 
@@ -221,6 +228,8 @@ func (c *Coordinator) complete(leaseID string, st sweep.CellState, errMsg string
 	delete(c.leases, leaseID)
 	c.workers[l.worker] = now
 	c.completes++
+	mCompletes.Inc()
+	sweep.RecordCellState(st)
 	sw := l.ref.sw
 	sw.states[l.ref.idx] = st
 	if st == sweep.CellFailed && sw.first == "" {
@@ -243,6 +252,7 @@ func (c *Coordinator) expireLocked(now time.Time) {
 			l.ref.sw.states[l.ref.idx] = sweep.CellPending
 			c.queue = append(c.queue, l.ref)
 			c.expirations++
+			mExpirations.Inc()
 			l.ref.sw.notifyLocked()
 		}
 	}
@@ -291,6 +301,7 @@ func (c *Coordinator) Stats() Stats {
 type Sweep struct {
 	c         *Coordinator
 	cells     []sweep.Cell
+	traceID   uint64
 	states    []sweep.CellState
 	first     string
 	remaining int
@@ -300,6 +311,11 @@ type Sweep struct {
 
 // Cells returns the sweep's expanded cells (shared slice; read-only).
 func (s *Sweep) Cells() []sweep.Cell { return s.cells }
+
+// TraceID returns the sweep's trace identity. It travels to workers in
+// every claim response, so spans recorded on a remote worker carry the
+// coordinator's id, and the serve layer echoes it in SSE progress events.
+func (s *Sweep) TraceID() uint64 { return s.traceID }
 
 // Done returns a channel closed when every cell has reached a terminal
 // state.

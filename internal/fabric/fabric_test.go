@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"casq/internal/experiments"
+	"casq/internal/obs"
 	"casq/internal/store"
 	"casq/internal/sweep"
 )
@@ -63,7 +64,7 @@ func TestCoordinatorLeaseLifecycle(t *testing.T) {
 		t.Fatal(err)
 	}
 	now := time.Now()
-	lease1, cell, ok := c.claim("w1", now)
+	lease1, cell, _, ok := c.claim("w1", now)
 	if !ok || cell.Opts.Seed != 1 {
 		t.Fatalf("claim = %v, %+v", ok, cell)
 	}
@@ -71,7 +72,7 @@ func TestCoordinatorLeaseLifecycle(t *testing.T) {
 		t.Fatalf("progress after claim = %+v", p)
 	}
 	// Nothing else to claim while the lease is live.
-	if _, _, ok := c.claim("w2", now); ok {
+	if _, _, _, ok := c.claim("w2", now); ok {
 		t.Fatal("second claim handed out a leased cell")
 	}
 	// A heartbeat within TTL keeps the lease.
@@ -80,7 +81,7 @@ func TestCoordinatorLeaseLifecycle(t *testing.T) {
 	}
 	// Past the extended expiry the lease dies and the cell requeues.
 	late := now.Add(92 * time.Minute)
-	lease2, cell2, ok := c.claim("w2", late)
+	lease2, cell2, _, ok := c.claim("w2", late)
 	if !ok || cell2.Opts.Seed != 1 {
 		t.Fatalf("requeued claim = %v, %+v", ok, cell2)
 	}
@@ -113,7 +114,7 @@ func TestCompleteRejectsNonTerminalState(t *testing.T) {
 	if _, err := c.Submit(testSpec([]int64{1})); err != nil {
 		t.Fatal(err)
 	}
-	lease, _, ok := c.claim("w1", time.Now())
+	lease, _, _, ok := c.claim("w1", time.Now())
 	if !ok {
 		t.Fatal("claim failed")
 	}
@@ -349,5 +350,50 @@ func TestDistributedBitIdentical(t *testing.T) {
 	}
 	if st := c.Stats(); st.Workers != 2 {
 		t.Errorf("coordinator saw %d workers, want 2", st.Workers)
+	}
+}
+
+// TestTracePropagation: the trace id the coordinator assigns to a sweep
+// rides the claim response across the HTTP hop, so every span a remote
+// worker records for that sweep's cells carries the coordinator's id —
+// one distributed trace, stitched with no shared memory.
+func TestTracePropagation(t *testing.T) {
+	shared := store.OpenWith(store.NewMem(), 64)
+	c := NewCoordinator(shared, Options{LeaseTTL: time.Minute})
+	defer c.Close()
+	ts := httptest.NewServer(c.Handler())
+	defer ts.Close()
+
+	sw, err := c.Submit(testSpec([]int64{1, 2}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw.TraceID() == 0 {
+		t.Fatal("sweep trace id is zero")
+	}
+
+	var computes atomic.Int32
+	w := newTestWorker(ts.URL, "w1", nil, stubCompute(&computes, nil))
+	w.Tracer = obs.NewTracer()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go w.Run(ctx)
+	if p := sw.Wait(); p.Failed != 0 || p.Done != 2 {
+		t.Fatalf("progress = %+v", p)
+	}
+	cancel()
+
+	cellSpans := 0
+	for _, ev := range w.Tracer.Events() {
+		if !strings.HasPrefix(ev.Name, "fabric.cell:") {
+			continue
+		}
+		cellSpans++
+		if ev.Trace != sw.TraceID() {
+			t.Errorf("span %s trace = %016x, want coordinator's %016x", ev.Name, ev.Trace, sw.TraceID())
+		}
+	}
+	if cellSpans != 2 {
+		t.Errorf("worker recorded %d fabric.cell spans, want 2", cellSpans)
 	}
 }

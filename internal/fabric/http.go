@@ -16,11 +16,15 @@ type claimRequest struct {
 }
 
 // claimResponse is the 200 body of a successful claim: the lease, its
-// TTL (so the worker knows how often to heartbeat), and the cell to run.
+// TTL (so the worker knows how often to heartbeat), the cell to run, and
+// the owning sweep's trace id — the worker stamps it on every span it
+// records for the cell, so a distributed trace stitches together across
+// the claim/complete HTTP hops.
 type claimResponse struct {
 	LeaseID    string     `json:"lease_id"`
 	LeaseTTLMS int64      `json:"lease_ttl_ms"`
 	Cell       sweep.Cell `json:"cell"`
+	TraceID    uint64     `json:"trace_id,omitempty"`
 }
 
 // heartbeatRequest is the POST /fabric/heartbeat body.
@@ -61,14 +65,14 @@ func (c *Coordinator) handleClaim(w http.ResponseWriter, r *http.Request) {
 		writeJSONError(w, http.StatusBadRequest, "claim: worker id required")
 		return
 	}
-	leaseID, cell, ok := c.claim(req.Worker, time.Now())
+	leaseID, cell, traceID, ok := c.claim(req.Worker, time.Now())
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(claimResponse{
-		LeaseID: leaseID, LeaseTTLMS: c.leaseTTL.Milliseconds(), Cell: cell,
+		LeaseID: leaseID, LeaseTTLMS: c.leaseTTL.Milliseconds(), Cell: cell, TraceID: traceID,
 	})
 }
 

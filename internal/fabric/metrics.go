@@ -1,0 +1,15 @@
+package fabric
+
+import "casq/internal/obs"
+
+// Process-wide fabric metrics on the obs default registry, exposed by
+// `casq serve` on GET /metrics. They mirror the per-coordinator struct
+// counters reported on /healthz — the struct counters stay per-instance
+// for the health snapshot, these aggregate across every coordinator in
+// the process for scraping.
+var (
+	mClaims      = obs.Default().Counter("casq_fabric_claims_total", "Worker claim calls handled (including empty-queue polls).")
+	mCompletes   = obs.Default().Counter("casq_fabric_completes_total", "Cells reported complete by workers.")
+	mHeartbeats  = obs.Default().Counter("casq_fabric_heartbeats_total", "Lease heartbeats accepted.")
+	mExpirations = obs.Default().Counter("casq_fabric_expirations_total", "Leases expired and requeued (crash recovery).")
+)

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"casq/internal/obs"
 	"casq/internal/store"
 	"casq/internal/sweep"
 )
@@ -42,6 +43,11 @@ type Worker struct {
 	// Client is the HTTP client for coordinator calls (nil =
 	// http.DefaultClient).
 	Client *http.Client
+	// Tracer records one span per processed cell, stamped with the trace
+	// id the coordinator assigned to the owning sweep (carried in the
+	// claim response), and is threaded into the cell's Options so compile
+	// and engine spans nest under it. Nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // NewWorker returns a worker computing against the coordinator at base,
@@ -131,7 +137,13 @@ func (w *Worker) process(ctx context.Context, job claimResponse, perCell int) {
 	if cell.Opts.Workers == 0 {
 		cell.Opts.Workers = perCell
 	}
+	var sp obs.Span
+	if w.Tracer.Enabled() {
+		sp = w.Tracer.StartTrace("fabric.cell:"+cell.ID, job.TraceID)
+		cell.Opts.Tracer = w.Tracer
+	}
 	_, hit, err := w.Cache.Figure(cell)
+	sp.End()
 	stopHB()
 	state := sweep.CellComputed
 	errMsg := ""

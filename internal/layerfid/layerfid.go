@@ -21,6 +21,7 @@ import (
 	"casq/internal/exec"
 	"casq/internal/fitting"
 	"casq/internal/models"
+	"casq/internal/obs"
 	"casq/internal/pauli"
 	"casq/internal/sim"
 	"casq/internal/twirl"
@@ -110,6 +111,9 @@ type Options struct {
 	// accumulated from packed parity words (one popcount per 64 shots) —
 	// raising Shots to full-scale budgets costs milliseconds, not seconds.
 	Engine string
+	// Tracer records compile/execute spans for the protocol's circuit
+	// runs; nil disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions uses depth points suited to layer fidelities in the
@@ -240,7 +244,7 @@ func Measure(dev *device.Device, layer *circuit.Layer, strategy core.Strategy, o
 			cfg.Seed = opts.Seed + int64(round*7919+d*13)
 			cfg.EnableReadoutErr = false // expectations are readout-corrected
 			vals, err := ex.Expectations(context.Background(), c, obs,
-				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(round*1000+d), Cfg: cfg, Engine: opts.Engine})
+				exec.RunOptions{Instances: opts.Instances, Workers: opts.Workers, Seed: opts.Seed + int64(round*1000+d), Cfg: cfg, Engine: opts.Engine, Tracer: opts.Tracer})
 			if err != nil {
 				return Result{}, err
 			}

@@ -1,0 +1,21 @@
+package layout
+
+import (
+	"casq/internal/obs"
+)
+
+// Process-wide layout-search metrics on the obs default registry,
+// exposed by `casq serve` on GET /metrics. The tier histograms split
+// one ChooseWith call into its pipeline stages, so a slow search shows
+// *which* tier — enumeration, static scoring, surrogate fit, or exact
+// scoring — is paying for it.
+var (
+	mSearches = obs.Default().Counter("casq_layout_searches_total",
+		"Layout searches run (ChooseWith calls).")
+	mTierSeconds = obs.Default().HistogramVec("casq_layout_tier_seconds",
+		"Wall time of each layout-search tier.", "tier", nil)
+	mTierEnumerate = mTierSeconds.With("enumerate")
+	mTierStatic    = mTierSeconds.With("static")
+	mTierFit       = mTierSeconds.With("fit")
+	mTierExact     = mTierSeconds.With("exact")
+)

@@ -10,6 +10,7 @@ import (
 
 	"casq/internal/circuit"
 	"casq/internal/device"
+	"casq/internal/obs"
 	"casq/internal/qgraph"
 	"casq/internal/sched"
 	"casq/internal/surrogate"
@@ -289,6 +290,15 @@ func argmin(best *Placement, pls []*Placement) *Placement {
 func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placement, *SearchReport, error) {
 	opts = opts.withDefaults()
 	start := time.Now()
+	mSearches.Inc()
+	// Tier timing: each observe closes the current tier and opens the
+	// next, so the tier histograms partition the search wall time.
+	tierStart := start
+	observeTier := func(h *obs.Histogram) {
+		now := time.Now()
+		h.Observe(now.Sub(tierStart).Seconds())
+		tierStart = now
+	}
 	n := c.NQubits
 	if n > dev.NQubits {
 		return nil, nil, fmt.Errorf("layout: circuit needs %d qubits, backend %s has %d", n, dev.Name, dev.NQubits)
@@ -296,6 +306,7 @@ func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placemen
 	ig := interactionGraph(c)
 	g := dev.CouplingGraph()
 	cands := enumerate(dev, g, ig, opts)
+	observeTier(mTierEnumerate)
 	if len(cands) == 0 {
 		return nil, nil, fmt.Errorf("layout: no %d-qubit embedding found on %s", n, dev.Name)
 	}
@@ -313,6 +324,7 @@ func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placemen
 		return lexLess(pre[i].phys, pre[j].phys)
 	})
 	order := diverseOrder(pre)
+	observeTier(mTierStatic)
 
 	workers := opts.Workers
 	if workers <= 0 {
@@ -339,6 +351,7 @@ func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placemen
 			}
 		}
 		model, err := surrogate.Fit(samples, 0)
+		observeTier(mTierFit)
 		if err == nil {
 			rep.Model = model
 			rest := order[opts.FitBatch:]
@@ -367,6 +380,7 @@ func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placemen
 			topPls := scoreCandidates(dev, c, top, workers)
 			rep.ExactScored += k
 			best = argmin(argmin(nil, fitPls), topPls)
+			observeTier(mTierExact)
 			rep.Pruned = true
 			rep.PruneRatio = 1 - float64(rep.ExactScored)/float64(rep.Enumerated)
 		} else {
@@ -381,6 +395,7 @@ func ChooseWith(dev *device.Device, c *circuit.Circuit, opts Options) (*Placemen
 			k = len(order)
 		}
 		best = argmin(nil, scoreCandidates(dev, c, order[:k], workers))
+		observeTier(mTierExact)
 		rep.ExactScored = k
 		rep.Pruned = false
 		rep.PruneRatio = 0

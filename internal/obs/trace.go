@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceEvent is one completed span. Start and Dur are nanoseconds on
+// the tracer's own monotonic clock (zero = tracer creation), Lane is
+// the virtual thread the span renders on (0 = main, executor instances
+// take k+1), and Trace groups spans belonging to one logical request —
+// it survives HTTP hops between the fabric coordinator and its workers.
+type TraceEvent struct {
+	Name  string
+	Start int64
+	Dur   int64
+	Lane  int
+	Trace uint64
+}
+
+// Tracer records spans. The zero value is not useful — use NewTracer —
+// but a nil *Tracer is the canonical disabled tracer: every method is a
+// nil-checked no-op costing zero allocations, so call sites in hot
+// loops thread the pointer unconditionally.
+type Tracer struct {
+	epoch time.Time
+	mu    sync.Mutex
+	ev    []TraceEvent
+}
+
+// NewTracer returns an enabled tracer with its clock epoch at now.
+func NewTracer() *Tracer { return &Tracer{epoch: time.Now()} }
+
+// Enabled reports whether spans are being recorded. Use it to guard
+// span-name construction that would otherwise allocate (string concat,
+// fmt) on the disabled path.
+func (t *Tracer) Enabled() bool { return t != nil }
+
+func (t *Tracer) now() int64 { return int64(time.Since(t.epoch)) }
+
+// Span is an open interval handle, passed by value so the disabled path
+// allocates nothing. End records it; End on a zero Span is a no-op.
+type Span struct {
+	t     *Tracer
+	name  string
+	start int64
+	lane  int
+	trace uint64
+}
+
+// Start opens a span named name on lane 0.
+func (t *Tracer) Start(name string) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, start: t.now()}
+}
+
+// StartTrace opens a span carrying an explicit trace ID — the receiving
+// half of cross-process propagation (fabric workers stamp the
+// coordinator's sweep trace ID onto their cell spans).
+func (t *Tracer) StartTrace(name string, traceID uint64) Span {
+	sp := t.Start(name)
+	sp.trace = traceID
+	return sp
+}
+
+// WithLane assigns the span to a rendering lane (Chrome tid).
+func (s Span) WithLane(lane int) Span { s.lane = lane; return s }
+
+// WithTrace stamps a trace ID onto the span.
+func (s Span) WithTrace(id uint64) Span { s.trace = id; return s }
+
+// End closes the span and records it.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	end := s.t.now()
+	s.t.mu.Lock()
+	s.t.ev = append(s.t.ev, TraceEvent{
+		Name: s.name, Start: s.start, Dur: end - s.start, Lane: s.lane, Trace: s.trace,
+	})
+	s.t.mu.Unlock()
+}
+
+// Events returns a copy of the recorded spans.
+func (t *Tracer) Events() []TraceEvent {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]TraceEvent(nil), t.ev...)
+}
+
+var traceIDs atomic.Uint64
+
+// NextTraceID returns a process-unique trace ID (a splitmix64 hash of a
+// sequence number, so IDs look random but need no entropy source).
+func NextTraceID() uint64 {
+	z := traceIDs.Add(1) * 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// ph "X" complete events with microsecond ts/dur load directly in
+// chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders the recorded spans as Chrome trace-event
+// JSON. Lanes become tids (with thread_name metadata so the viewer
+// labels them), and non-zero trace IDs land in args.trace for grouping.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{
+		{Name: "process_name", Ph: "M", Pid: 1,
+			Args: map[string]any{"name": "casq"}},
+	}}
+	lanes := map[int]bool{}
+	for _, e := range events {
+		if !lanes[e.Lane] {
+			lanes[e.Lane] = true
+			name := "main"
+			if e.Lane != 0 {
+				name = fmt.Sprintf("lane %d", e.Lane)
+			}
+			out.TraceEvents = append(out.TraceEvents, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: 1, Tid: e.Lane,
+				Args: map[string]any{"name": name}})
+		}
+		ce := chromeEvent{
+			Name: e.Name, Cat: "casq", Ph: "X",
+			Ts:  float64(e.Start) / 1e3,
+			Dur: float64(e.Dur) / 1e3,
+			Pid: 1, Tid: e.Lane,
+		}
+		if e.Trace != 0 {
+			ce.Args = map[string]any{"trace": fmt.Sprintf("%016x", e.Trace)}
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}

@@ -32,6 +32,7 @@ import (
 	"casq/internal/circuit"
 	"casq/internal/dd"
 	"casq/internal/device"
+	"casq/internal/obs"
 	"casq/internal/sched"
 	"casq/internal/twirl"
 )
@@ -52,6 +53,12 @@ type Context struct {
 	// consult it to keep their output representable — e.g. avoid
 	// non-Clifford rewrites when compiling for the stabilizer engine.
 	Engine string
+	// Tracer records per-pass compile spans; nil (the default) disables
+	// tracing at zero cost. Lane is the tracer lane the spans land on —
+	// the executor assigns one lane per concurrent instance so compile
+	// timelines render side by side.
+	Tracer *obs.Tracer
+	Lane   int
 }
 
 // Report accumulates what the passes of one pipeline application did.
@@ -237,17 +244,36 @@ func (p Pipeline) Apply(dev *device.Device, rng *rand.Rand, c *circuit.Circuit) 
 // RNG draw sequence is independent of the engine: the same seed compiles
 // to the same circuit under either backend.
 func (p Pipeline) ApplyForEngine(dev *device.Device, rng *rand.Rand, c *circuit.Circuit, engine string) (*circuit.Circuit, Report, error) {
-	ctx := &Context{Dev: dev, Rng: rng, Report: &Report{Pipeline: p.Name}, Engine: engine}
+	return p.ApplyContext(&Context{Dev: dev, Rng: rng, Engine: engine}, c)
+}
+
+// ApplyContext is the fully general entry point: the caller assembles
+// the Context (device, RNG, engine, tracer/lane), and the pipeline
+// initializes the Report and runs. Each pass records a "pass:<name>"
+// span on ctx.Tracer, so a traced compilation renders its pass timeline.
+func (p Pipeline) ApplyContext(ctx *Context, c *circuit.Circuit) (*circuit.Circuit, Report, error) {
+	ctx.Report = &Report{Pipeline: p.Name}
 	out := c.Clone()
 	for _, ps := range p.Passes {
-		if err := ps.Apply(ctx, out); err != nil {
+		var sp obs.Span
+		if ctx.Tracer.Enabled() {
+			sp = ctx.Tracer.Start("pass:" + ps.Name()).WithLane(ctx.Lane)
+		}
+		err := ps.Apply(ctx, out)
+		sp.End()
+		if err != nil {
 			return nil, *ctx.Report, fmt.Errorf("pass %s: %s: %w", p.Name, ps.Name(), err)
 		}
 		ctx.Report.Applied = append(ctx.Report.Applied, ps.Name())
 	}
 	// Final normalization: every compiled circuit leaves scheduled, and the
 	// recorded duration reflects all inserted gates.
-	ctx.Report.Duration = sched.Schedule(out, dev)
+	var sp obs.Span
+	if ctx.Tracer.Enabled() {
+		sp = ctx.Tracer.Start("pass:sched.final").WithLane(ctx.Lane)
+	}
+	ctx.Report.Duration = sched.Schedule(out, ctx.Dev)
+	sp.End()
 	if err := out.Validate(); err != nil {
 		return nil, *ctx.Report, fmt.Errorf("pass %s: compiled circuit invalid: %w", p.Name, err)
 	}

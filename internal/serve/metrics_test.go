@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"casq/internal/obs"
+)
+
+// TestMetricsEndpoint pins GET /metrics: after a figure request and a
+// layout compile, the exposition parses as valid Prometheus text and
+// carries non-zero serve request counters, a figure latency histogram,
+// and the engine-layer families (store, exec, layout, sweep) from the
+// process-wide default registry.
+func TestMetricsEndpoint(t *testing.T) {
+	ts := newTestServer(t, nil)
+	if resp, _ := get(t, ts.URL+"/figures/fig3c?fast=1&shots=16&instances=2&maxdepth=2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("figure status = %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, ts.URL+"/backends/heavyhex29/layout?qubits=4&depth=2"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("layout status = %d", resp.StatusCode)
+	}
+
+	resp, body := get(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q", ct)
+	}
+	samples, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+
+	value := func(name, label string) (float64, bool) {
+		for _, s := range samples {
+			if s.Name != name {
+				continue
+			}
+			if label == "" || s.Label("endpoint") == label || s.Label("state") == label ||
+				s.Label("result") == label || s.Label("tier") == label {
+				return s.Value, true
+			}
+		}
+		return 0, false
+	}
+
+	// Per-endpoint serve counters from the server's own registry.
+	if v, ok := value("casq_serve_requests_total", "figures"); !ok || v != 1 {
+		t.Errorf("figures request counter = %v, %v", v, ok)
+	}
+	// The figure latency histogram has a populated _count.
+	if v, ok := value("casq_serve_request_seconds_count", "figures"); !ok || v != 1 {
+		t.Errorf("figures latency count = %v, %v", v, ok)
+	}
+
+	// Engine-layer families on the default registry. These are process
+	// globals shared across tests, so assert presence and non-zero rather
+	// than exact values.
+	for _, name := range []string{
+		"casq_store_hits_total", "casq_store_misses_total", "casq_store_puts_total",
+		"casq_exec_jobs_total", "casq_exec_instances_total", "casq_exec_shots_total",
+		"casq_layout_searches_total",
+	} {
+		if _, ok := value(name, ""); !ok {
+			t.Errorf("family %s missing from /metrics", name)
+		}
+	}
+	if v, ok := value("casq_exec_shots_total", ""); !ok || v <= 0 {
+		t.Errorf("exec shots counter = %v, %v (figure request must have simulated shots)", v, ok)
+	}
+	if v, ok := value("casq_layout_tier_seconds_count", "exact"); !ok || v <= 0 {
+		t.Errorf("layout exact-tier histogram count = %v, %v", v, ok)
+	}
+}
+
+// TestMetricsServerIsolation: per-endpoint request counters live on the
+// server's own registry, so a second server starts from zero even after
+// another instance in the same process has served traffic.
+func TestMetricsServerIsolation(t *testing.T) {
+	ts1 := newTestServer(t, nil)
+	get(t, ts1.URL+"/experiments")
+	get(t, ts1.URL+"/experiments")
+
+	ts2 := newTestServer(t, nil)
+	_, body := get(t, ts2.URL+"/metrics")
+	samples, err := obs.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range samples {
+		if s.Name == "casq_serve_requests_total" && s.Label("endpoint") == "experiments" && s.Value != 0 {
+			t.Errorf("fresh server reports %v experiments requests (leaked across instances)", s.Value)
+		}
+	}
+}

@@ -41,6 +41,12 @@
 //	GET  /sweeps/{id}/events SSE stream of progress snapshots
 //	GET  /healthz            liveness, store counters, request counters,
 //	                         and fabric fleet stats when attached
+//	GET  /metrics            Prometheus text exposition: per-endpoint
+//	                         request counters + latency histograms, plus
+//	                         the process-wide engine metrics (store, exec,
+//	                         layout, sweep, fabric)
+//	GET  /debug/pprof/*      net/http/pprof profiling (opt-in: Config.PProf
+//	                         / `casq serve -pprof`)
 //	POST /fabric/claim       (coordinator mode) worker cell claim
 //	POST /fabric/heartbeat   (coordinator mode) lease keep-alive
 //	POST /fabric/complete    (coordinator mode) cell completion
@@ -56,7 +62,7 @@ import (
 	"fmt"
 	"math"
 	"net/http"
-	"sort"
+	"net/http/pprof"
 	"strconv"
 	"sync"
 	"time"
@@ -65,6 +71,7 @@ import (
 	"casq/internal/exec"
 	"casq/internal/experiments"
 	"casq/internal/fabric"
+	"casq/internal/obs"
 	"casq/internal/store"
 	"casq/internal/sweep"
 )
@@ -121,6 +128,15 @@ type Config struct {
 	// exact score exceeds this ratio of the deployed baseline
 	// (0 = layout.DefaultRecompileThreshold).
 	RecompileThreshold float64
+	// Tracer, when non-nil, records spans for in-process sweep cells (and
+	// everything compiled/simulated under them). Nil disables tracing at
+	// zero cost.
+	Tracer *obs.Tracer
+	// PProf mounts the net/http/pprof profiling endpoints under
+	// /debug/pprof/ when true. Off by default: profiling handlers expose
+	// heap and goroutine internals and cost CPU while sampling, so they
+	// are opt-in (`casq serve -pprof`).
+	PProf bool
 }
 
 // runHandle abstracts a scheduled sweep; the in-process sweep.Run and
@@ -133,6 +149,7 @@ type runHandle interface {
 	Progress() sweep.Progress
 	Changed() <-chan struct{}
 	Done() <-chan struct{}
+	TraceID() uint64
 }
 
 // sweepRecord tracks one retained sweep.
@@ -156,12 +173,22 @@ type Server struct {
 	ctx    context.Context // governs background sweeps
 	cancel context.CancelFunc
 
+	// reg is the server's own metrics registry: per-endpoint request
+	// counters and latency histograms live here (not on the process-wide
+	// default registry) so each Server instance — including every test
+	// server — observes exactly its own traffic. GET /metrics writes this
+	// registry followed by obs.Default(), which carries the engine-layer
+	// families (store, exec, layout, sweep, fabric).
+	reg        *obs.Registry
+	reqCount   *obs.CounterVec
+	reqSeconds *obs.HistogramVec
+	pprof      bool
+
 	mu       sync.Mutex
 	sweeps   map[string]*sweepRecord
 	order    []string // sweep ids in submission order, for history pruning
 	seq      int
 	draining bool
-	requests map[string]uint64 // per-endpoint request counters
 
 	// Drift-monitor registry behind /backends/{id}/layout and /drift,
 	// under its own lock: monitor compiles and drift decisions run layout
@@ -214,9 +241,10 @@ func NewWith(cfg Config) *Server {
 		}
 		limiter = newTokenBucket(cfg.FigureRPS, burst)
 	}
+	reg := obs.NewRegistry()
 	return &Server{
 		cache:    cfg.Cache,
-		runner:   &sweep.Runner{Cache: cfg.Cache, Workers: cfg.SweepWorkers},
+		runner:   &sweep.Runner{Cache: cfg.Cache, Workers: cfg.SweepWorkers, Tracer: cfg.Tracer},
 		coord:    cfg.Coordinator,
 		limiter:  limiter,
 		maxRuns:  maxRuns,
@@ -225,7 +253,13 @@ func NewWith(cfg Config) *Server {
 		ctx:      ctx,
 		cancel:   cancel,
 		sweeps:   map[string]*sweepRecord{},
-		requests: map[string]uint64{},
+
+		reg: reg,
+		reqCount: reg.CounterVec("casq_serve_requests_total",
+			"HTTP requests handled, by endpoint.", "endpoint"),
+		reqSeconds: reg.HistogramVec("casq_serve_request_seconds",
+			"HTTP request latency, by endpoint.", "endpoint", nil),
+		pprof: cfg.PProf,
 
 		layouts:            map[string]*layoutRecord{},
 		recompileThreshold: cfg.RecompileThreshold,
@@ -277,23 +311,52 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /sweeps/{id}", s.counted("sweeps.status", s.handleSweepStatus))
 	mux.HandleFunc("GET /sweeps/{id}/events", s.counted("sweeps.events", s.handleSweepEvents))
 	mux.HandleFunc("GET /healthz", s.counted("healthz", s.handleHealth))
+	mux.HandleFunc("GET /metrics", s.counted("metrics", s.handleMetrics))
 	if s.coord != nil {
 		ch := s.coord.Handler()
 		mux.Handle("/fabric/", ch)
 		mux.Handle("/store/", ch)
 	}
+	if s.pprof {
+		// Mount the handlers explicitly instead of blank-importing the
+		// package, which would register them on DefaultServeMux for every
+		// binary linking serve — profiling stays opt-in per server.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
-// counted wraps a handler with its per-endpoint request counter
-// (scraped from /healthz by loadgen and CI).
+// counted wraps a handler with its per-endpoint request counter and
+// latency histogram on the server registry (scraped from /metrics; the
+// counters also surface on /healthz). The counter and histogram children
+// are resolved once here, so the per-request cost is two atomic bumps —
+// no lock, no map lookup. The counter increments before the handler runs
+// (a request is "handled" the moment it is routed, so /healthz reports
+// its own in-flight request); the histogram observes after, when the
+// duration is known.
 func (s *Server) counted(name string, h http.HandlerFunc) http.HandlerFunc {
+	hits := s.reqCount.With(name)
+	seconds := s.reqSeconds.With(name)
 	return func(w http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		s.requests[name]++
-		s.mu.Unlock()
+		hits.Inc()
+		start := time.Now()
 		h(w, r)
+		seconds.Observe(time.Since(start).Seconds())
 	}
+}
+
+// handleMetrics serves the Prometheus text exposition: the server's own
+// registry (request counters and latency histograms) followed by the
+// process-wide default registry (store, exec, layout, sweep and fabric
+// families recorded by the engine layers).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+	obs.Default().WritePrometheus(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -737,6 +800,13 @@ func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// progressEvent is one SSE `progress` payload: the progress snapshot
+// plus the sweep's trace id (16 hex digits).
+type progressEvent struct {
+	sweep.Progress
+	TraceID string `json:"trace_id"`
+}
+
 // handleSweepEvents streams progress snapshots as Server-Sent Events:
 // one `progress` event per state change (coalesced under load) with
 // monotonically non-decreasing counts, ending with the snapshot whose
@@ -761,6 +831,10 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 	flusher.Flush()
 
 	run := rec.run
+	// Every event echoes the run's trace id (assigned by the in-process
+	// runner or the fabric coordinator), so a client can correlate the
+	// sweep with spans recorded anywhere in the fleet.
+	trace := fmt.Sprintf("%016x", run.TraceID())
 	var last *sweep.Progress
 	seq := 0
 	for {
@@ -771,7 +845,7 @@ func (s *Server) handleSweepEvents(w http.ResponseWriter, r *http.Request) {
 		p := run.Progress()
 		if last == nil || p != *last {
 			seq++
-			data, err := json.Marshal(p)
+			data, err := json.Marshal(progressEvent{Progress: p, TraceID: trace})
 			if err != nil {
 				return
 			}
@@ -857,11 +931,17 @@ type sweepCounts struct {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	reqs := make(map[string]uint64, len(s.requests))
-	for _, k := range sortedKeys(s.requests) {
-		reqs[k] = s.requests[k]
+	// The requests map is rebuilt from the registry counters, dropping
+	// zero-valued endpoints (counted pre-creates every child at Handler
+	// build) — the JSON shape matches the pre-registry map, which only
+	// held endpoints that had been hit.
+	reqs := map[string]uint64{}
+	for k, v := range s.reqCount.Snapshot() {
+		if v != 0 {
+			reqs[k] = v
+		}
 	}
+	s.mu.Lock()
 	s.refreshLocked(time.Now())
 	active := 0
 	for _, rec := range s.sweeps {
@@ -883,15 +963,6 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		body.Fabric = &st
 	}
 	writeJSON(w, http.StatusOK, body)
-}
-
-func sortedKeys(m map[string]uint64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
 }
 
 // retrySeconds rounds a wait up to whole seconds for the Retry-After

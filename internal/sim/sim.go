@@ -29,6 +29,7 @@ import (
 	"casq/internal/device"
 	"casq/internal/gates"
 	"casq/internal/linalg"
+	"casq/internal/obs"
 )
 
 // Shared parameter slices for the memoized ECR decomposition.
@@ -66,6 +67,13 @@ type Config struct {
 	EnableT1T2        bool // Markovian amplitude damping and dephasing
 	EnableGateErr     bool // depolarizing error per physical gate
 	EnableReadoutErr  bool // assignment error on recorded bits
+
+	// Tracer records engine-level spans (whole-run and per-shot-block
+	// timings); nil disables tracing at zero cost. Lane is the tracer
+	// lane spans render on — the executor assigns one per instance.
+	// Neither affects simulation results.
+	Tracer *obs.Tracer
+	Lane   int
 }
 
 // DefaultConfig enables every channel with a moderate shot count.
@@ -571,9 +579,22 @@ func BitsKey(cbits []int) string {
 	return string(b)
 }
 
+// span opens an engine-level span on the runner's configured tracer
+// (no-op Span when tracing is disabled). A helper rather than inline
+// calls because some Runner methods take a parameter named obs, which
+// shadows the package name.
+func (r *Runner) span(name string) obs.Span {
+	if !r.Cfg.Tracer.Enabled() {
+		return obs.Span{}
+	}
+	return r.Cfg.Tracer.Start(name).WithLane(r.Cfg.Lane)
+}
+
 // Counts runs the circuit and returns measured bitstring counts (classical
 // bit i at string position i).
 func (r *Runner) Counts(c *circuit.Circuit) (Result, error) {
+	sp := r.span("sim.counts")
+	defer sp.End()
 	cp, err := r.compiled(c)
 	if err != nil {
 		return Result{}, err
@@ -596,6 +617,8 @@ func (r *Runner) Counts(c *circuit.Circuit) (Result, error) {
 // over noise trajectories of the exact expectation value of each observable
 // on the final state.
 func (r *Runner) Expectations(c *circuit.Circuit, obs []ObsSpec) ([]float64, error) {
+	sp := r.span("sim.expectations")
+	defer sp.End()
 	cp, err := r.compiled(c)
 	if err != nil {
 		return nil, err

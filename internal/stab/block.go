@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 
+	"casq/internal/obs"
 	"casq/internal/pauli"
 	"casq/internal/sim"
 )
@@ -435,12 +436,18 @@ func (w *blockWorker) scalar() *frame {
 func (e *Engine) forEachShotBlock(p *program,
 	onBlock func(b, base int, bf *blockFrame), onTail func(i int, f *frame)) {
 	bp := p.blockPlan()
+	tr, lane := e.Cfg.Tracer, e.Cfg.Lane
 	sim.ForEachShotBlock(e.numShots(), e.Cfg.Workers,
 		func() *blockWorker { return newBlockWorker(p) },
 		func(b, base int, w *blockWorker) {
+			var sp obs.Span
+			if tr.Enabled() {
+				sp = tr.Start("stab.block").WithLane(lane)
+			}
 			w.bf.reset(sim.BlockSeed(e.Cfg.Seed, b))
 			w.bf.run(bp)
 			onBlock(b, base, w.bf)
+			sp.End()
 		},
 		func(i int, w *blockWorker) {
 			f := w.scalar()

@@ -37,6 +37,7 @@ import (
 
 	"casq/internal/circuit"
 	"casq/internal/device"
+	"casq/internal/obs"
 	"casq/internal/pauli"
 	"casq/internal/sim"
 )
@@ -65,11 +66,23 @@ func New(dev *device.Device, cfg sim.Config) *Engine {
 // Engine implements sim.Engine.
 var _ sim.Engine = (*Engine)(nil)
 
+// span opens an engine-level span on the configured tracer (no-op Span
+// when tracing is disabled). A helper rather than inline calls because
+// Expectations takes a parameter named obs, shadowing the package name.
+func (e *Engine) span(name string) obs.Span {
+	if !e.Cfg.Tracer.Enabled() {
+		return obs.Span{}
+	}
+	return e.Cfg.Tracer.Start(name).WithLane(e.Cfg.Lane)
+}
+
 // Counts runs the circuit and returns measured bitstring counts
 // (classical bit i at string position i), shot-for-shot deterministic in
 // Cfg.Seed and independent of the worker count.
 func (e *Engine) Counts(c *circuit.Circuit) (sim.Result, error) {
 	if e.Scalar {
+		sp := e.span("stab.counts.scalar")
+		defer sp.End()
 		p, err := e.compile(c)
 		if err != nil {
 			return sim.Result{}, err
@@ -102,6 +115,8 @@ var _ sim.PackedSampler = (*Engine)(nil)
 // Results are deterministic in Cfg.Seed and bit-identical for any worker
 // count.
 func (e *Engine) CountsPacked(c *circuit.Circuit) (sim.PackedBits, error) {
+	sp := e.span("stab.counts")
+	defer sp.End()
 	p, err := e.compile(c)
 	if err != nil {
 		return sim.PackedBits{}, err
@@ -172,6 +187,8 @@ func (e *Engine) planObs(p *program, o sim.ObsSpec) (obsPlan, error) {
 // (ref * (64 - 2*popcount(parity word))); the reduction runs in unit-index
 // order so the result is bit-identical for any worker count.
 func (e *Engine) Expectations(c *circuit.Circuit, obs []sim.ObsSpec) ([]float64, error) {
+	sp := e.span("stab.expectations")
+	defer sp.End()
 	p, err := e.compile(c)
 	if err != nil {
 		return nil, err

@@ -20,6 +20,7 @@ import (
 	"container/list"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // DefaultMemCapacity bounds the in-memory tier when Open is given a
@@ -85,18 +86,21 @@ func (s *Store) Backend() Backend { return s.backend }
 // tier. The second return is false on a clean miss; err is reserved for
 // I/O failures. Callers must not mutate the returned slice.
 func (s *Store) Get(k Key) ([]byte, bool, error) {
+	start := time.Now()
 	s.mu.Lock()
 	if e, ok := s.mem[k]; ok {
 		s.order.MoveToFront(e.el)
 		s.hits++
 		data := e.data
 		s.mu.Unlock()
+		observeGet(start, true)
 		return data, true, nil
 	}
 	s.mu.Unlock()
 
 	if s.backend == nil || !k.Valid() {
 		s.miss()
+		observeGet(start, false)
 		return nil, false, nil
 	}
 	data, ok, err := s.backend.Load(k)
@@ -105,12 +109,14 @@ func (s *Store) Get(k Key) ([]byte, bool, error) {
 	}
 	if !ok {
 		s.miss()
+		observeGet(start, false)
 		return nil, false, nil
 	}
 	s.mu.Lock()
 	s.insertLocked(k, data)
 	s.hits++
 	s.mu.Unlock()
+	observeGet(start, true)
 	return data, true, nil
 }
 
@@ -121,6 +127,7 @@ func (s *Store) Put(k Key, data []byte) error {
 	if !k.Valid() {
 		return fmt.Errorf("store: invalid key %q", k)
 	}
+	start := time.Now()
 	if s.backend != nil {
 		if err := s.backend.Store(k, data); err != nil {
 			return fmt.Errorf("store: put %s: %w", k, err)
@@ -130,6 +137,8 @@ func (s *Store) Put(k Key, data []byte) error {
 	s.insertLocked(k, data)
 	s.puts++
 	s.mu.Unlock()
+	mPuts.Inc()
+	mPutSeconds.Observe(time.Since(start).Seconds())
 	return nil
 }
 
@@ -147,6 +156,7 @@ func (s *Store) insertLocked(k Key, data []byte) {
 		s.order.Remove(tail)
 		delete(s.mem, tail.Value.(Key))
 		s.evictions++
+		mEvictions.Inc()
 	}
 }
 

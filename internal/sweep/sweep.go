@@ -19,6 +19,7 @@ import (
 
 	"casq/internal/exec"
 	"casq/internal/experiments"
+	"casq/internal/obs"
 	"casq/internal/store"
 )
 
@@ -359,7 +360,8 @@ type Progress struct {
 
 // Run is one scheduled sweep execution.
 type Run struct {
-	cells []Cell
+	cells   []Cell
+	traceID uint64
 
 	mu     sync.Mutex
 	states []CellState
@@ -371,6 +373,11 @@ type Run struct {
 
 // Cells returns the run's expanded cells (shared slice; read-only).
 func (r *Run) Cells() []Cell { return r.cells }
+
+// TraceID returns the run's trace identity: every cell span this run
+// records carries it, and the serve layer echoes it in SSE progress
+// events so a client can correlate a sweep with its trace.
+func (r *Run) TraceID() uint64 { return r.traceID }
 
 // Done returns a channel closed when every cell has reached a terminal
 // state.
@@ -442,6 +449,7 @@ func (r *Run) set(i int, st CellState, err error) {
 	}
 	r.notifyLocked()
 	r.mu.Unlock()
+	RecordCellState(st)
 }
 
 // Runner schedules sweeps through a cache with bounded concurrency.
@@ -454,6 +462,11 @@ type Runner struct {
 	// budget to each cell's executor. An explicit cell Options.Workers is
 	// respected (it never changes results — only parallelism).
 	Workers int
+	// Tracer records one span per cell (lane = sweep worker index), all
+	// stamped with the run's TraceID, and is threaded into each cell's
+	// Options so compile-pass and engine spans nest under it. Nil (the
+	// default) disables tracing at zero cost.
+	Tracer *obs.Tracer
 }
 
 // Start expands the spec and launches its cells in the background,
@@ -468,11 +481,13 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 		return nil, err
 	}
 	run := &Run{
-		cells:  cells,
-		states: make([]CellState, len(cells)),
-		watch:  make(chan struct{}),
-		done:   make(chan struct{}),
+		cells:   cells,
+		traceID: obs.NextTraceID(),
+		states:  make([]CellState, len(cells)),
+		watch:   make(chan struct{}),
+		done:    make(chan struct{}),
 	}
+	RecordRun()
 	for i := range run.states {
 		run.states[i] = CellPending
 	}
@@ -494,7 +509,7 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(lane int) {
 			defer wg.Done()
 			for i := range indices {
 				if ctx.Err() != nil {
@@ -505,7 +520,15 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 				if cell.Opts.Workers == 0 {
 					cell.Opts.Workers = perCell
 				}
+				var sp obs.Span
+				if r.Tracer.Enabled() {
+					sp = r.Tracer.Start("sweep.cell:" + cell.ID).WithLane(lane).WithTrace(run.traceID)
+					if cell.Opts.Tracer == nil {
+						cell.Opts.Tracer = r.Tracer
+					}
+				}
 				_, hit, err := r.Cache.Figure(cell)
+				sp.End()
 				switch {
 				case err != nil:
 					run.set(i, CellFailed, err)
@@ -515,7 +538,7 @@ func (r *Runner) Start(ctx context.Context, spec Spec) (*Run, error) {
 					run.set(i, CellComputed, nil)
 				}
 			}
-		}()
+		}(w + 1)
 	}
 	go func() {
 		for i := range cells {

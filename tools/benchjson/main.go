@@ -4,6 +4,12 @@
 // artifact (BENCH_sim.json, BENCH_stab.json) from one PR to the next.
 // Custom units reported via b.ReportMetric — e.g. the stabilizer batch
 // bench's "shots/s" — land in the metrics map keyed by unit.
+//
+// Prometheus text-exposition lines (`name{label="v"} value`, including
+// the `_bucket`/`_sum`/`_count` series of histograms) are also accepted
+// and become {name, labels, value} records, so a GET /metrics scrape can
+// be piped through the same converter and archived next to the bench
+// artifacts.
 package main
 
 import (
@@ -13,16 +19,34 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"casq/internal/obs"
 )
 
 type record struct {
 	Name        string  `json:"name"`
-	Iterations  int64   `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
+	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	// Metrics holds custom b.ReportMetric units (e.g. "shots/s").
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Labels and Value are set for Prometheus exposition lines instead
+	// of the bench fields above.
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  *float64          `json:"value,omitempty"`
+}
+
+// promRecord converts one Prometheus sample line into a record; ok is
+// false for anything that does not parse as one.
+func promRecord(line string) (record, bool) {
+	samples, err := obs.ParseProm(strings.NewReader(line))
+	if err != nil || len(samples) != 1 {
+		return record{}, false
+	}
+	s := samples[0]
+	v := s.Value
+	return record{Name: s.Name, Labels: s.Labels, Value: &v}, true
 }
 
 func main() {
@@ -32,6 +56,9 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "Benchmark") {
+			if r, ok := promRecord(line); ok {
+				out = append(out, r)
+			}
 			continue
 		}
 		fields := strings.Fields(line)

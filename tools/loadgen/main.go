@@ -2,9 +2,13 @@
 // requests at one endpoint from a fixed pool of concurrent clients and
 // reports throughput, the status breakdown (200 / 429-rate-limited /
 // other), and latency percentiles, then scrapes /healthz for the
-// server-side request counters. CI uses it to pin the serving
-// acceptance criterion — a warm cached figure sustains ≥1000 concurrent
-// clients — and to archive the latency distribution as a JSON artifact.
+// server-side request counters and /metrics for the server's own latency
+// histogram — reporting the server-side p50/p90/p99 of the figures
+// endpoint next to the client-side ones, so a gap between the two
+// (network, queueing in the HTTP stack) is visible in one report. CI
+// uses it to pin the serving acceptance criterion — a warm cached figure
+// sustains ≥1000 concurrent clients — and to archive the latency
+// distribution as a JSON artifact.
 //
 // Usage:
 //
@@ -28,6 +32,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"casq/internal/obs"
 )
 
 // report is the machine-readable summary (-json output).
@@ -41,7 +47,47 @@ type report struct {
 	Seconds     float64        `json:"seconds"`
 	RPS         float64        `json:"rps"`
 	LatencyMS   map[string]any `json:"latency_ms"`
-	Healthz     any            `json:"healthz,omitempty"`
+	// ServerLatencyMS is the same percentile set computed from the
+	// server's own casq_serve_request_seconds{endpoint="figures"}
+	// histogram scraped off GET /metrics — the server-side view of the
+	// latencies the client measured.
+	ServerLatencyMS map[string]any `json:"server_latency_ms,omitempty"`
+	Healthz         any            `json:"healthz,omitempty"`
+}
+
+// scrapeServerLatency fetches /metrics and rebuilds the figure-endpoint
+// latency percentiles from the cumulative histogram buckets.
+func scrapeServerLatency(client *http.Client, base string) map[string]any {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return nil
+	}
+	samples, err := obs.ParseProm(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		log.Printf("loadgen: parse /metrics: %v", err)
+		return nil
+	}
+	var buckets []obs.Sample
+	for _, s := range samples {
+		if s.Name == "casq_serve_request_seconds_bucket" && s.Label("endpoint") == "figures" {
+			buckets = append(buckets, s)
+		}
+	}
+	if len(buckets) == 0 {
+		return nil
+	}
+	out := map[string]any{}
+	for _, p := range []struct {
+		name string
+		q    float64
+	}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+		out[p.name] = obs.HistogramQuantile(p.q, buckets) * 1e3 // seconds -> ms
+	}
+	return out
 }
 
 func main() {
@@ -130,6 +176,7 @@ func main() {
 			"p50": pct(50), "p90": pct(90), "p99": pct(99), "max": pct(100),
 		},
 	}
+	rep.ServerLatencyMS = scrapeServerLatency(client, *base)
 	if resp, err := client.Get(*base + "/healthz"); err == nil {
 		var h any
 		if json.NewDecoder(resp.Body).Decode(&h) == nil {
@@ -143,6 +190,10 @@ func main() {
 		rep.OK, rep.RateLimited, rep.Errors, rep.Seconds, rep.RPS)
 	fmt.Printf("  latency ms: p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
 		rep.LatencyMS["p50"], rep.LatencyMS["p90"], rep.LatencyMS["p99"], rep.LatencyMS["max"])
+	if s := rep.ServerLatencyMS; s != nil {
+		fmt.Printf("  server  ms: p50=%.1f p90=%.1f p99=%.1f (from /metrics histogram)\n",
+			s["p50"], s["p90"], s["p99"])
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(rep, "", "  ")
 		if err != nil {
